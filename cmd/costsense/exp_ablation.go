@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"costsense"
+	"costsense/internal/synch"
+)
+
+// expAblation isolates the design choices DESIGN.md calls out:
+//
+//  1. which spanning tree β-style synchronizers run over (the SLT
+//     choice vs the MST / SPT extremes, §2's motivation applied to §3
+//     and §4);
+//  2. the coarsening parameter k of the γ* tree edge-cover (the
+//     Thm 1.1 radius/degree trade surfacing as pulse delay).
+func expAblation(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "-- β synchronizer tree choice (BKJ separation instance n=96) --")
+	g := costsense.ShallowLightGap(96)
+	hub := costsense.NodeID(g.N() - 1)
+	pulses := costsense.Diameter(g) + 2
+	sltTree, _, err := costsense.BuildSLT(g, hub, 2)
+	if err != nil {
+		panic(err)
+	}
+	trees := []struct {
+		name string
+		t    *costsense.Tree
+	}{
+		{"SLT(q=2)", sltTree},
+		{"MST", costsense.PrimTree(g, hub)},
+		{"SPT", costsense.Dijkstra(g, hub).Tree(g)},
+	}
+	fmt.Fprintln(w, "tree\tw(T)\tdepth(T)\tC(β)/pulse\tT(β)/pulse")
+	for _, tc := range trees {
+		ov := must(synch.RunBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, tc.t))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\n",
+			tc.name, tc.t.Weight(), tc.t.Height(), ov.CommPerPulse, ov.TimePerPulse)
+	}
+	fmt.Fprintln(w, "\nprediction: the SLT matches the MST's C = O(𝓥) and the SPT's T = O(𝓓) at once;")
+	fmt.Fprintln(w, "the MST pays T = O(√n·𝓓), the SPT pays C = O(√n·𝓥) on this instance")
+
+	fmt.Fprintln(w, "\n-- β* clock synchronizer over the same trees --")
+	fmt.Fprintln(w, "tree\tpulse delay\tsync comm/pulse")
+	const clockPulses = 8
+	for _, tc := range trees {
+		res := must(costsense.RunClockBetaTree(g, clockPulses, tc.t))
+		if err := res.CausalOK(g); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\n", tc.name, res.MaxDelay(),
+			res.Stats.Comm/clockPulses)
+	}
+
+	fmt.Fprintln(w, "\n-- γ* tree edge-cover coarsening k (grid-7x7, uniform weights) --")
+	gc := costsense.Grid(7, 7, costsense.UniformWeights(12, 5))
+	fmt.Fprintln(w, "k\ttrees\tmax depth\tpulse delay\tsync comm/pulse")
+	for _, k := range []int{2, 3, 4, 6, 8} {
+		tc := costsense.NewTreeCoverK(gc, k)
+		res := must(costsense.RunClockGammaK(gc, clockPulses, k))
+		if err := res.CausalOK(gc); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\n",
+			k, len(tc.Trees), tc.MaxDepth(), res.MaxDelay(), res.Stats.Comm/clockPulses)
+	}
+	fmt.Fprintln(w, "\nprediction (Thm 1.1): larger k deepens the cover trees (radius ~2k·d) but")
+	fmt.Fprintln(w, "shrinks their number/overlap — pulse delay grows, per-pulse traffic falls")
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"costsense"
+	"costsense/internal/basic"
+	"costsense/internal/sim"
+)
+
+// expController reproduces §5 / Corollary 5.1: overhead of the
+// controller on correct executions and the cutoff of runaway ones.
+func expController(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "-- correct executions (flood workload) --")
+	fmt.Fprintln(w, "graph\tc_π\tcontrolled comm\tcontrol msgs comm\ttotal/(c·log²c)\texhausted")
+	cases := []struct {
+		name string
+		g    *costsense.Graph
+	}{
+		{"rand-48", costsense.RandomConnected(48, 120, costsense.UniformWeights(16, 1), 1)},
+		{"grid-7x7", costsense.Grid(7, 7, costsense.UniformWeights(8, 2))},
+		{"path-48", costsense.Path(48, costsense.UniformWeights(12, 3))},
+		{"complete-24", costsense.Complete(24, costsense.UniformWeights(16, 4))},
+	}
+	for _, c := range cases {
+		g := c.g
+		// Threshold: the schedule-free flood bound c_π <= 2𝓔.
+		cpi := 2 * g.TotalWeight()
+		res, _, err := costsense.RunControlled(g, floodProcs(g), 0, cpi)
+		if err != nil {
+			panic(err)
+		}
+		logc := math.Log2(float64(cpi))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.3f\t%v\n",
+			c.name, cpi, res.Stats.Comm, res.ControlComm,
+			float64(res.Stats.Comm)/(float64(cpi)*logc*logc), res.Exhausted)
+	}
+
+	fmt.Fprintln(w, "\n-- runaway protocol (infinite ping-pong), threshold sweep --")
+	fmt.Fprintln(w, "threshold\tconsumed\ttotal comm\tstopped")
+	g := costsense.Ring(12, costsense.ConstWeights(3))
+	for _, th := range []int64{100, 500, 2000, 10000} {
+		procs := make([]sim.Process, g.N())
+		for v := range procs {
+			procs[v] = &pingBomb{}
+		}
+		res, _, err := costsense.RunControlled(g, procs, 0, th, costsense.WithEventLimit(20_000_000))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%d\t%v\n", th, res.Consumed, res.Stats.Comm, res.Exhausted)
+	}
+	fmt.Fprintln(w, "\npaper (Cor 5.1): controlled complexity O(c_π·log²c_π); incorrect executions stopped at the threshold")
+}
+
+func floodProcs(g *costsense.Graph) []sim.Process {
+	procs := make([]sim.Process, g.N())
+	for v := range procs {
+		procs[v] = &basic.FloodProc{Source: 0}
+	}
+	return procs
+}
+
+// pingBomb is a diverging protocol: every receipt is answered.
+type pingBomb struct{}
+
+func (pingBomb) Init(ctx sim.Context) {
+	if ctx.ID() == 0 {
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, "boom")
+		}
+	}
+}
+
+func (pingBomb) Handle(ctx sim.Context, from costsense.NodeID, _ sim.Message) {
+	ctx.Send(from, "boom")
+}

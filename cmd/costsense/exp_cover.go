@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"costsense"
+	"costsense/internal/cover"
+)
+
+// expCover reproduces Theorem 1.1 [AP91]: the cover coarsening
+// radius/degree tradeoff, sweeping k on a ball cover.
+func expCover(w *tabwriter.Writer) {
+	g := costsense.Grid(12, 12, costsense.UnitWeights())
+	s := cover.BallCover(g, 2)
+	radS := s.Radius(g)
+	fmt.Fprintf(w, "radius-2 ball cover on grid-12x12: |S|=%d, Rad(S)=%d\n\n", len(s), radS)
+	fmt.Fprintln(w, "k\t|T|\tRad(T)\tRad(T)/Rad(S)\t2k+1\tΔ(T)\tk·|S|^{1/k}")
+	for _, k := range []int{1, 2, 3, 4, 6} {
+		t := cover.Coarsen(g, s, k)
+		radT := t.Radius(g)
+		deg := t.MaxDegree(g.N())
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.2f\t%d\t%d\t%.1f\n",
+			k, len(t), radT, float64(radT)/float64(radS), 2*k+1, deg,
+			float64(k)*math.Pow(float64(len(s)), 1/float64(k)))
+	}
+	fmt.Fprintln(w, "\npaper (Thm 1.1): Rad(T) <= (2k-1)·Rad(S), Δ(T) = O(k·|S|^{1/k}) — radius grows, degree falls with k")
+
+	fmt.Fprintln(w, "\n-- tree edge-cover (Lemma 3.2, feeds clock synchronizer γ*) --")
+	fmt.Fprintln(w, "graph\td\tW\ttrees\tmax depth\tdepth/(d·logn)\tmax edge load\tlog n")
+	for _, c := range []struct {
+		name string
+		g    *costsense.Graph
+	}{
+		{"chord-64", costsense.HeavyChordRing(64, 100000)},
+		{"grid-8x8", costsense.Grid(8, 8, costsense.UniformWeights(10, 8))},
+		{"rand-64", costsense.RandomConnected(64, 160, costsense.UniformWeights(24, 9), 9)},
+	} {
+		tc := costsense.NewTreeCover(c.g)
+		d := costsense.MaxNeighborDist(c.g)
+		logn := math.Log2(float64(c.g.N()))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.2f\t%d\t%.1f\n",
+			c.name, d, c.g.MaxWeight(), len(tc.Trees), tc.MaxDepth(),
+			float64(tc.MaxDepth())/(float64(d)*logn), tc.MaxEdgeLoad(c.g), logn)
+	}
+	fmt.Fprintln(w, "\npaper (Def 3.1): depth O(d·logn), each edge in O(logn) trees, every edge covered")
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"text/tabwriter"
+
+	"costsense"
+)
+
+// testbed returns the graph families the experiments sweep over.
+func testbed() []struct {
+	name string
+	g    *costsense.Graph
+} {
+	return []struct {
+		name string
+		g    *costsense.Graph
+	}{
+		{"path-64", costsense.Path(64, costsense.UniformWeights(16, 1))},
+		{"ring-64", costsense.Ring(64, costsense.UniformWeights(16, 2))},
+		{"grid-8x8", costsense.Grid(8, 8, costsense.UniformWeights(16, 3))},
+		{"rand-64-200", costsense.RandomConnected(64, 200, costsense.UniformWeights(32, 4), 4)},
+		{"complete-32", costsense.Complete(32, costsense.UniformWeights(64, 5))},
+		{"bkj-sep-64", costsense.ShallowLightGap(64)},
+	}
+}
+
+// expFig1 reproduces Figure 1: global symmetric compact function
+// computation achieves O(𝓥) communication and O(𝓓) time (upper, via
+// SLT) against the Ω(𝓥)/Ω(𝓓) lower bounds.
+func expFig1(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "graph\t𝓥\t𝓓\tcomm\tcomm/𝓥\ttime\ttime/𝓓\tvalue ok")
+	for _, tb := range testbed() {
+		g := tb.g
+		n := g.N()
+		rng := rand.New(rand.NewSource(42))
+		inputs := make([]int64, n)
+		for i := range inputs {
+			inputs[i] = rng.Int63n(1000)
+		}
+		res, _, err := costsense.ComputeViaSLT(g, 0, 2, inputs, costsense.Sum)
+		if err != nil {
+			panic(err)
+		}
+		var want int64
+		for _, x := range inputs {
+			want += x
+		}
+		vv := costsense.MSTWeight(g)
+		dd := costsense.Diameter(g)
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%v\n",
+			tb.name, vv, dd, res.Stats.Comm, ratio(res.Stats.Comm, vv),
+			res.Stats.FinishTime, ratio(res.Stats.FinishTime, dd), res.Value == want)
+	}
+	fmt.Fprintln(w, "\npaper: comm = Θ(𝓥), time = Θ(𝓓) — constant ratios across families")
+}
+
+// expSLT reproduces the Figure 5/6 construction: sweeps the trade-off
+// parameter q and verifies Lemma 2.4 (weight) and Lemma 2.5 (depth).
+func expSLT(w *tabwriter.Writer) {
+	g := costsense.ShallowLightGap(128)
+	hub := costsense.NodeID(g.N() - 1)
+	vv := costsense.MSTWeight(g)
+	dd := costsense.Diameter(g)
+	fmt.Fprintf(w, "separation instance n=%d: 𝓥=%d 𝓓=%d", g.N(), vv, dd)
+	spt := costsense.Dijkstra(g, hub).Tree(g)
+	mstT := costsense.PrimTree(g, hub)
+	fmt.Fprintf(w, "  w(SPT)=%d (%.1f𝓥)  depth(MST)=%d (%.1f𝓓)\n\n",
+		spt.Weight(), float64(spt.Weight())/float64(vv), mstT.Height(), float64(mstT.Height())/float64(dd))
+	fmt.Fprintln(w, "q\tw(T)\tw(T)/𝓥\t(1+2/q) bound\tdepth(T)\tdepth/𝓓\tbreakpoints")
+	for _, q := range []int64{1, 2, 4, 8, 16, 64} {
+		tree, info, err := costsense.BuildSLT(g, hub, q)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "%d\t%d\t%.2f\t%.2f\t%d\t%.2f\t%d\n",
+			q, tree.Weight(), float64(tree.Weight())/float64(vv), 1+2/float64(q),
+			tree.Height(), float64(tree.Height())/float64(dd), len(info.Breakpoints))
+	}
+	fmt.Fprintln(w, "\npaper: w(T) <= (1+2/q)𝓥 (Lemma 2.4), depth(T) = O(q𝓓) (Lemma 2.5)")
+}
+
+// expSLTDist reproduces Theorem 2.7: the distributed SLT construction
+// costs O(𝓥n²) communication and O(𝓓n²) time.
+func expSLTDist(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "n\t𝓥\t𝓓\tcomm\tcomm/(𝓥n²)\ttime\ttime/(𝓓n²)")
+	for _, n := range []int{16, 24, 32, 48} {
+		g := costsense.RandomConnected(n, 3*n, costsense.UniformWeights(16, int64(n)), int64(n))
+		res, err := costsense.BuildSLTDistributed(g, 0, 2)
+		if err != nil {
+			panic(err)
+		}
+		vv := costsense.MSTWeight(g)
+		dd := costsense.Diameter(g)
+		n2 := int64(n) * int64(n)
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%s\t%d\t%s\n",
+			n, vv, dd, res.Stats.Comm, ratio(res.Stats.Comm, vv*n2),
+			res.Stats.FinishTime, ratio(res.Stats.FinishTime, dd*n2))
+	}
+	fmt.Fprintln(w, "\npaper: O(𝓥n²) comm, O(𝓓n²) time — ratios bounded and falling")
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"costsense"
+)
+
+// expFig3 reproduces Figure 3: the four MST algorithms across regimes.
+func expFig3(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "graph\t𝓔\t𝓥\tghs comm\tghs/(𝓔+𝓥lgn)\tcentr comm\tcentr/n𝓥\tfast comm\tfast time\tghs time\thybrid comm\twinner")
+	cases := []struct {
+		name string
+		g    *costsense.Graph
+	}{
+		{"sparse-48", costsense.RandomConnected(48, 70, costsense.UniformWeights(24, 1), 1)},
+		{"dense-32", costsense.Complete(32, costsense.UniformWeights(64, 2))},
+		{"grid-7x7", costsense.Grid(7, 7, costsense.UniformWeights(32, 3))},
+		{"Gn-20", costsense.HardConnectivity(20, 20)},
+		{"heavystar-32", heavyStar(32, 4096)},
+	}
+	for _, c := range cases {
+		g := c.g
+		ee := g.TotalWeight()
+		vv := costsense.MSTWeight(g)
+		logn := int64(math.Ceil(math.Log2(float64(g.N()))))
+		ghs := must(costsense.RunGHS(g))
+		centr := must(costsense.RunMSTCentr(g, 0))
+		fast := must(costsense.RunMSTFast(g))
+		hy := must(costsense.RunMSTHybrid(g, 0))
+		// All four must find the same (unique up to ties) MST weight.
+		if ghs.Weight() != vv || fast.Weight() != vv || hy.Result.Weight() != vv {
+			panic(fmt.Sprintf("%s: MST weight mismatch", c.name))
+		}
+		if centr.Tree(g, 0).Weight() != vv {
+			panic("centr weight mismatch")
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			c.name, ee, vv,
+			ghs.Stats.Comm, ratio(ghs.Stats.Comm, ee+vv*logn),
+			centr.Stats.Comm, ratio(centr.Stats.Comm, int64(g.N())*vv),
+			fast.Stats.Comm, fast.Stats.FinishTime, ghs.Stats.FinishTime,
+			hy.Result.Stats.Comm, hy.Winner)
+	}
+	fmt.Fprintln(w, "\npaper: ghs = O(𝓔+𝓥logn) comm; centr = O(n𝓥); fast trades comm (x log𝓥) for time;")
+	fmt.Fprintln(w, "hybrid = O(min{𝓔+𝓥logn, n𝓥}) — winner flips between sparse and G_n regimes")
+}
+
+// heavyStar is the §8.3 stress case: a unit path (the MST) plus a star
+// of very heavy non-tree edges at vertex 0, forcing GHS into a long
+// serial scan.
+func heavyStar(n int, heavy int64) *costsense.Graph {
+	b := costsense.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(costsense.NodeID(i), costsense.NodeID(i+1), 1)
+	}
+	for i := 2; i < n; i++ {
+		b.AddEdge(0, costsense.NodeID(i), heavy)
+	}
+	return b.MustBuild()
+}

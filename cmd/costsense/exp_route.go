@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"costsense"
+)
+
+// expRouting measures the routing application (§1.1's motivating
+// domain): next-hop tables over SPT / MST / SLT trees, comparing table
+// weight (the cost of maintaining the state) against route quality.
+func expRouting(w *tabwriter.Writer) {
+	cases := []struct {
+		name string
+		g    *costsense.Graph
+	}{
+		{"bkj-sep-64", costsense.ShallowLightGap(64)},
+		{"grid-7x7", costsense.Grid(7, 7, costsense.UniformWeights(16, 3))},
+		{"rand-48", costsense.RandomConnected(48, 120, costsense.UniformWeights(24, 4), 4)},
+	}
+	fmt.Fprintln(w, "graph\ttree\ttable w(T)\tw(T)/𝓥\tmax hub route\t/𝓓\tmean stretch\tmax stretch")
+	for _, c := range cases {
+		g := c.g
+		hub := costsense.NodeID(g.N() - 1)
+		vv := costsense.MSTWeight(g)
+		dd := costsense.Diameter(g)
+		sltTree, _, err := costsense.BuildSLT(g, hub, 2)
+		if err != nil {
+			panic(err)
+		}
+		trees := []struct {
+			name string
+			t    *costsense.Tree
+		}{
+			{"SPT", costsense.Dijkstra(g, hub).Tree(g)},
+			{"MST", costsense.PrimTree(g, hub)},
+			{"SLT(q=2)", sltTree},
+		}
+		for _, tc := range trees {
+			r, err := costsense.NewTreeRouter(g, tc.t)
+			if err != nil {
+				panic(err)
+			}
+			maxHub := must(r.MaxCostFrom(hub))
+			st := must(r.Stretch())
+			fmt.Fprintf(w, "%s\t%s\t%d\t%.2f\t%d\t%.2f\t%.2f\t%.1f\n",
+				c.name, tc.name, r.TableWeight(), float64(r.TableWeight())/float64(vv),
+				maxHub, float64(maxHub)/float64(dd), st.Mean, st.Max)
+		}
+	}
+	fmt.Fprintln(w, "\nprediction: SLT tables weigh O(𝓥) like the MST's while keeping hub routes")
+	fmt.Fprintln(w, "within (2q+1)𝓓 like the SPT's — neither extreme achieves both")
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"costsense"
+)
+
+// expSynch reproduces §4 / Lemma 4.8: per-pulse overhead of the
+// synchronizers, sweeping n and the γ_w cluster parameter k. The
+// protocol under synchronization is the synchronous SPT flood of §9.1.
+func expSynch(w *tabwriter.Writer) {
+	fmt.Fprintln(w, "-- sweep n (k=2), dense graphs with heavy edges --")
+	fmt.Fprintln(w, "n\t𝓔\tC(α)/pulse\tC(β)/pulse\tC(γw)/pulse\tC(γw)/(kn·logW)\tT(α)/pulse\tT(γw)/pulse")
+	for _, n := range []int{16, 24, 32, 48} {
+		g := costsense.Complete(n, costsense.UniformWeights(64, int64(n)))
+		pulses := costsense.Diameter(g) + 2
+		a := must(costsense.RunSynchAlpha(g, costsense.NewSPTSyncProcs(g, 0), pulses))
+		b := must(costsense.RunSynchBeta(g, costsense.NewSPTSyncProcs(g, 0), pulses))
+		c := must(costsense.RunSynchGammaW(g, costsense.NewSPTSyncProcs(g, 0), pulses, 2))
+		logW := math.Log2(64)
+		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.0f\t%.0f\n",
+			n, g.TotalWeight(), a.CommPerPulse, b.CommPerPulse, c.CommPerPulse,
+			c.CommPerPulse/(2*float64(n)*logW), a.TimePerPulse, c.TimePerPulse)
+	}
+	fmt.Fprintln(w, "\n-- sweep k (γ_w growth factor), dense graph n=48 --")
+	fmt.Fprintln(w, "k\tC(γw)/pulse\tT(γw)/pulse")
+	g := costsense.Complete(48, costsense.UniformWeights(32, 9))
+	pulses := costsense.Diameter(g) + 2
+	for _, k := range []int{2, 4, 8, 16, 32} {
+		c := must(costsense.RunSynchGammaW(g, costsense.NewSPTSyncProcs(g, 0), pulses, k))
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\n", k, c.CommPerPulse, c.TimePerPulse)
+	}
+	fmt.Fprintln(w, "\npaper: C(γw) = O(kn·logW) per pulse vs C(α) = O(𝓔);")
+	fmt.Fprintln(w, "γ_w undercuts α as graphs get dense, and k trades comm for time")
+}

@@ -1,0 +1,120 @@
+// Command costsense regenerates every table and figure of the paper's
+// evaluation on the simulator. Each experiment prints the measured
+// weighted communication / time next to the bound the paper states, so
+// the shapes can be compared directly (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	costsense exp <id>     run one experiment
+//	costsense exp all      run every experiment
+//	costsense list         list experiment ids
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+// experiment is one reproducible table/figure.
+type experiment struct {
+	id    string
+	title string
+	run   func(*tabwriter.Writer)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"fig1", "Figure 1 — global function computation: O(𝓥) comm, O(𝓓) time", expFig1},
+		{"slt", "Figure 5/6 + Lemmas 2.4/2.5 — shallow-light tree bounds over q", expSLT},
+		{"sltdist", "Theorem 2.7 — distributed SLT construction", expSLTDist},
+		{"clock", "§3 — clock synchronizers α*, β*, γ*: pulse delay", expClock},
+		{"synch", "§4, Lemma 4.8 — synchronizer γ_w per-pulse overhead", expSynch},
+		{"controller", "§5, Corollary 5.1 — controller overhead and runaway cutoff", expController},
+		{"fig2", "Figure 2 — connectivity: DFS, CONflood, CONhybrid vs min{𝓔, n𝓥}", expFig2},
+		{"lowerbound", "§7.1, Lemma 7.2 — Ω(n𝓥) lower-bound family G_n", expLowerBound},
+		{"fig3", "Figure 3 — MST algorithms", expFig3},
+		{"fig4", "Figure 4 — SPT algorithms", expFig4},
+		{"strips", "Figure 9 — SPTrecur strip-depth sweep", expStrips},
+		{"cover", "Theorem 1.1 [AP91] — cover coarsening tradeoff", expCover},
+		{"ablation", "design-choice ablations: β tree choice, γ* cover parameter", expAblation},
+		{"routing", "routing application: table weight vs route quality per tree", expRouting},
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "costsense:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	exps := experiments()
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "verify":
+		return verifyAll()
+	case "list":
+		for _, e := range exps {
+			fmt.Printf("%-11s %s\n", e.id, e.title)
+		}
+		return nil
+	case "exp":
+		if len(args) < 2 {
+			return usage()
+		}
+		want := args[1]
+		byID := make(map[string]experiment, len(exps))
+		ids := make([]string, 0, len(exps))
+		for _, e := range exps {
+			byID[e.id] = e
+			ids = append(ids, e.id)
+		}
+		if want == "all" {
+			for _, e := range exps {
+				runOne(e)
+			}
+			return nil
+		}
+		e, ok := byID[want]
+		if !ok {
+			sort.Strings(ids)
+			return fmt.Errorf("unknown experiment %q (have %v)", want, ids)
+		}
+		runOne(e)
+		return nil
+	default:
+		return usage()
+	}
+}
+
+func runOne(e experiment) {
+	fmt.Printf("== %s: %s\n\n", e.id, e.title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	e.run(w)
+	w.Flush()
+	fmt.Println()
+}
+
+func usage() error {
+	return fmt.Errorf("usage: costsense {list | exp <id> | exp all | verify}")
+}
+
+// ratio formats a measured/bound quotient.
+func ratio(measured, bound int64) string {
+	if bound == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(measured)/float64(bound))
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"text/tabwriter"
+)
+
+// TestExperimentsRunClean executes every experiment function once,
+// catching panics and empty output — the harness itself is part of the
+// deliverable.
+func TestExperimentsRunClean(t *testing.T) {
+	for _, e := range experiments() {
+		t.Run(e.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+			e.run(w)
+			w.Flush()
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("experiment %s produced almost no output: %q", e.id, out)
+			}
+			if !strings.Contains(out, "\t") && !strings.Contains(out, "  ") {
+				t.Fatalf("experiment %s produced no table", e.id)
+			}
+		})
+	}
+}
+
+func TestVerifyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full verification gate")
+	}
+	if err := verifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIDispatch(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command should error")
+	}
+}
+
+func TestRatioFormatting(t *testing.T) {
+	if got := ratio(6, 3); got != "2.00" {
+		t.Fatalf("ratio(6,3) = %s", got)
+	}
+	if got := ratio(1, 0); got != "-" {
+		t.Fatalf("ratio(1,0) = %s", got)
+	}
+}

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"costsense"
+)
+
+// verifyAll re-runs a compact version of every experiment and asserts
+// the paper's qualitative predictions as hard pass/fail checks — a
+// CI-style gate on the reproduction (`costsense verify`).
+func verifyAll() error {
+	type check struct {
+		name string
+		run  func() error
+	}
+	checks := []check{
+		{"E1 global function at O(𝓥)/O(𝓓)", func() error {
+			g := costsense.RandomConnected(64, 180, costsense.UniformWeights(24, 1), 1)
+			in := make([]int64, g.N())
+			var want int64
+			for i := range in {
+				in[i] = int64(i)
+				want += int64(i)
+			}
+			res, _, err := costsense.ComputeViaSLT(g, 0, 2, in, costsense.Sum)
+			if err != nil {
+				return err
+			}
+			if res.Value != want {
+				return fmt.Errorf("wrong value %d", res.Value)
+			}
+			if res.Stats.Comm > 4*costsense.MSTWeight(g) {
+				return fmt.Errorf("comm %d above 4𝓥", res.Stats.Comm)
+			}
+			if res.Stats.FinishTime > 10*costsense.Diameter(g) {
+				return fmt.Errorf("time %d above 10𝓓", res.Stats.FinishTime)
+			}
+			return nil
+		}},
+		{"E2 SLT bounds over q", func() error {
+			g := costsense.ShallowLightGap(96)
+			hub := costsense.NodeID(g.N() - 1)
+			for _, q := range []int64{1, 2, 8} {
+				tree, _, err := costsense.BuildSLT(g, hub, q)
+				if err != nil {
+					return err
+				}
+				if !costsense.IsShallowLight(g, tree, q) {
+					return fmt.Errorf("q=%d violates SLT bounds", q)
+				}
+			}
+			return nil
+		}},
+		{"E4 γ* beats α* by ≥100x when d<<W", func() error {
+			g := costsense.HeavyChordRing(48, 50_000)
+			a, err := costsense.RunClockAlpha(g, 8)
+			if err != nil {
+				return err
+			}
+			c, err := costsense.RunClockGamma(g, 8)
+			if err != nil {
+				return err
+			}
+			if err := c.CausalOK(g); err != nil {
+				return err
+			}
+			if 100*c.MaxDelay() > a.MaxDelay() {
+				return fmt.Errorf("γ* %d vs α* %d: gap below 100x", c.MaxDelay(), a.MaxDelay())
+			}
+			return nil
+		}},
+		{"E5 γ_w undercuts α on dense graphs", func() error {
+			g := costsense.Complete(32, costsense.UniformWeights(64, 2))
+			pulses := costsense.Diameter(g) + 2
+			a, err := costsense.RunSynchAlpha(g, costsense.NewSPTSyncProcs(g, 0), pulses)
+			if err != nil {
+				return err
+			}
+			c, err := costsense.RunSynchGammaW(g, costsense.NewSPTSyncProcs(g, 0), pulses, 2)
+			if err != nil {
+				return err
+			}
+			if c.CommPerPulse*2 > a.CommPerPulse {
+				return fmt.Errorf("C(γw)=%.0f vs C(α)=%.0f: gap below 2x", c.CommPerPulse, a.CommPerPulse)
+			}
+			return nil
+		}},
+		{"E6 controller caps a runaway at the threshold", func() error {
+			g := costsense.Ring(12, costsense.ConstWeights(3))
+			procs := make([]costsense.Process, g.N())
+			for v := range procs {
+				procs[v] = runawayProc{}
+			}
+			res, _, err := costsense.RunControlled(g, procs, 0, 1000, costsense.WithEventLimit(10_000_000))
+			if err != nil {
+				return err
+			}
+			if !res.Exhausted || res.Consumed > 1000 {
+				return fmt.Errorf("not capped: exhausted=%v consumed=%d", res.Exhausted, res.Consumed)
+			}
+			logc := math.Log2(1000)
+			if res.Stats.Comm > int64(8*1000*logc*logc) {
+				return fmt.Errorf("total damage %d above O(c log²c)", res.Stats.Comm)
+			}
+			return nil
+		}},
+		{"E7 CONhybrid winner flips with the regime", func() error {
+			tree := costsense.RandomConnected(40, 39, costsense.UniformWeights(16, 3), 3)
+			r1, err := costsense.RunCONHybrid(tree, 0)
+			if err != nil {
+				return err
+			}
+			if r1.Winner != "dfs" {
+				return fmt.Errorf("on a tree winner=%s", r1.Winner)
+			}
+			r2, err := costsense.RunCONHybrid(costsense.HardConnectivity(24, 24), 0)
+			if err != nil {
+				return err
+			}
+			if r2.Winner != "mst" {
+				return fmt.Errorf("on G_n winner=%s", r2.Winner)
+			}
+			return nil
+		}},
+		{"E8 G_n separates the scaling regimes by ≥100x", func() error {
+			rep, err := costsense.RunGnExperiment(32, 32)
+			if err != nil {
+				return err
+			}
+			if rep.FloodComm < 100*rep.HybridComm {
+				return fmt.Errorf("flood %d vs hybrid %d: gap below 100x", rep.FloodComm, rep.HybridComm)
+			}
+			return nil
+		}},
+		{"E9 all MST algorithms agree with Kruskal", func() error {
+			g := costsense.RandomConnected(48, 130, costsense.UniformWeights(64, 4), 4)
+			vv := costsense.MSTWeight(g)
+			ghs, err := costsense.RunGHS(g)
+			if err != nil {
+				return err
+			}
+			fast, err := costsense.RunMSTFast(g)
+			if err != nil {
+				return err
+			}
+			hy, err := costsense.RunMSTHybrid(g, 0)
+			if err != nil {
+				return err
+			}
+			if ghs.Weight() != vv || fast.Weight() != vv || hy.Result.Weight() != vv {
+				return fmt.Errorf("MST disagreement")
+			}
+			return nil
+		}},
+		{"E10 all SPT algorithms agree with Dijkstra", func() error {
+			g := costsense.Grid(6, 6, costsense.UniformWeights(20, 5))
+			want := costsense.Dijkstra(g, 0)
+			recur, err := costsense.RunSPTRecur(g, 0, costsense.DefaultStripLen(g, 0))
+			if err != nil {
+				return err
+			}
+			synch, err := costsense.RunSPTSynch(g, 0, 2)
+			if err != nil {
+				return err
+			}
+			for v := range want.Dist {
+				if recur.Dist[v] != want.Dist[v] || synch.Dist[v] != want.Dist[v] {
+					return fmt.Errorf("SPT disagreement at %d", v)
+				}
+			}
+			return nil
+		}},
+		{"E11 strip sync cost falls with ℓ", func() error {
+			g := costsense.Grid(7, 7, costsense.UniformWeights(12, 6))
+			r1, err := costsense.RunSPTRecur(g, 0, 1)
+			if err != nil {
+				return err
+			}
+			r2, err := costsense.RunSPTRecur(g, 0, 16)
+			if err != nil {
+				return err
+			}
+			if r2.Stats.Comm >= r1.Stats.Comm {
+				return fmt.Errorf("strip ℓ=16 comm %d not below ℓ=1 comm %d", r2.Stats.Comm, r1.Stats.Comm)
+			}
+			return nil
+		}},
+		{"E12 tree edge-cover has the Def 3.1 properties", func() error {
+			g := costsense.HeavyChordRing(64, 100_000)
+			tc := costsense.NewTreeCover(g)
+			if !tc.CoversAllEdges() {
+				return fmt.Errorf("cover misses an edge")
+			}
+			d := costsense.MaxNeighborDist(g)
+			logn := int64(math.Ceil(math.Log2(float64(g.N()))))
+			if tc.MaxDepth() > 4*d*logn {
+				return fmt.Errorf("depth %d above 4·d·logn", tc.MaxDepth())
+			}
+			return nil
+		}},
+		{"E13 SLT dominates MST/SPT for β", func() error {
+			g := costsense.ShallowLightGap(96)
+			hub := costsense.NodeID(g.N() - 1)
+			pulses := costsense.Diameter(g) + 2
+			sltTree, _, err := costsense.BuildSLT(g, hub, 2)
+			if err != nil {
+				return err
+			}
+			ovSLT, err := costsense.RunSynchBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, sltTree)
+			if err != nil {
+				return err
+			}
+			ovMST, err := costsense.RunSynchBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, costsense.PrimTree(g, hub))
+			if err != nil {
+				return err
+			}
+			ovSPT, err := costsense.RunSynchBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, costsense.Dijkstra(g, hub).Tree(g))
+			if err != nil {
+				return err
+			}
+			if ovSLT.TimePerPulse*2 > ovMST.TimePerPulse {
+				return fmt.Errorf("SLT time %.0f not well below MST %.0f", ovSLT.TimePerPulse, ovMST.TimePerPulse)
+			}
+			if ovSLT.CommPerPulse*2 > ovSPT.CommPerPulse {
+				return fmt.Errorf("SLT comm %.0f not well below SPT %.0f", ovSLT.CommPerPulse, ovSPT.CommPerPulse)
+			}
+			return nil
+		}},
+		{"E14 routing: SLT tables light and shallow", func() error {
+			g := costsense.ShallowLightGap(64)
+			hub := costsense.NodeID(g.N() - 1)
+			sltTree, _, err := costsense.BuildSLT(g, hub, 2)
+			if err != nil {
+				return err
+			}
+			r, err := costsense.NewTreeRouter(g, sltTree)
+			if err != nil {
+				return err
+			}
+			if r.TableWeight() > 2*costsense.MSTWeight(g) {
+				return fmt.Errorf("table weight %d above 2𝓥", r.TableWeight())
+			}
+			maxHub, err := r.MaxCostFrom(hub)
+			if err != nil {
+				return err
+			}
+			if maxHub > 5*costsense.Diameter(g) {
+				return fmt.Errorf("hub route %d above 5𝓓", maxHub)
+			}
+			return nil
+		}},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.run(); err != nil {
+			failed++
+			fmt.Printf("FAIL  %-45s %v\n", c.name, err)
+			continue
+		}
+		fmt.Printf("ok    %s\n", c.name)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d/%d verification checks failed", failed, len(checks))
+	}
+	fmt.Printf("\nall %d reproduction checks passed\n", len(checks))
+	return nil
+}
+
+// runawayProc answers every message forever.
+type runawayProc struct{}
+
+func (runawayProc) Init(ctx costsense.Context) {
+	if ctx.ID() == 0 {
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, 0)
+		}
+	}
+}
+
+func (runawayProc) Handle(ctx costsense.Context, from costsense.NodeID, _ costsense.Message) {
+	ctx.Send(from, 0)
+}

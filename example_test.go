@@ -1,0 +1,147 @@
+package costsense_test
+
+import (
+	"fmt"
+
+	"costsense"
+)
+
+// Computing a global function over a shallow-light tree costs Θ(𝓥)
+// communication and Θ(𝓓) time, the Corollary 2.3 optimum.
+func ExampleComputeViaSLT() {
+	g := costsense.Grid(4, 4, costsense.ConstWeights(3))
+	inputs := make([]int64, g.N())
+	for i := range inputs {
+		inputs[i] = int64(i)
+	}
+	res, _, err := costsense.ComputeViaSLT(g, 0, 2, inputs, costsense.Sum)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sum:", res.Value)
+	fmt.Println("comm within 4𝓥:", res.Stats.Comm <= 4*costsense.MSTWeight(g))
+	// Output:
+	// sum: 120
+	// comm within 4𝓥: true
+}
+
+// The GHS algorithm finds the minimum spanning tree and elects the
+// deciding core vertex as leader.
+func ExampleRunGHS() {
+	b := costsense.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 3)
+	b.AddEdge(0, 3, 10)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := costsense.RunGHS(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("MST weight:", res.Weight())
+	fmt.Println("edges:", len(res.Edges))
+	// Output:
+	// MST weight: 6
+	// edges: 3
+}
+
+// SPTrecur computes exact shortest path trees with strip-synchronized
+// exploration.
+func ExampleRunSPTRecur() {
+	b := costsense.NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 7)
+	b.AddEdge(2, 3, 2)
+	b.AddEdge(0, 3, 10)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	res, err := costsense.RunSPTRecur(g, 0, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distances:", res.Dist)
+	// Output:
+	// distances: [0 5 12 10]
+}
+
+// The weighted parameters 𝓔, 𝓥, 𝓓 of §1.3 drive every bound in the
+// library.
+func ExampleMSTWeight() {
+	g := costsense.Path(5, costsense.ConstWeights(2))
+	fmt.Println("𝓔:", g.TotalWeight())
+	fmt.Println("𝓥:", costsense.MSTWeight(g))
+	fmt.Println("𝓓:", costsense.Diameter(g))
+	// Output:
+	// 𝓔: 8
+	// 𝓥: 8
+	// 𝓓: 8
+}
+
+// A custom protocol runs on the asynchronous weighted simulator; every
+// send costs w(e) and arrives after at most w(e) time.
+func ExampleRun() {
+	g := costsense.Path(3, costsense.ConstWeights(4))
+	procs := []costsense.Process{&pingProc{}, &relayProc{}, &relayProc{}}
+	stats, err := costsense.Run(g, procs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("weighted comm:", stats.Comm)
+	fmt.Println("finish time:", stats.FinishTime)
+	// Output:
+	// weighted comm: 8
+	// finish time: 8
+}
+
+type pingProc struct{}
+
+func (pingProc) Init(ctx costsense.Context) { ctx.Send(1, "token") }
+func (pingProc) Handle(costsense.Context, costsense.NodeID, costsense.Message) {
+}
+
+type relayProc struct{}
+
+func (relayProc) Init(costsense.Context) {}
+func (relayProc) Handle(ctx costsense.Context, from costsense.NodeID, m costsense.Message) {
+	if next := ctx.ID() + 1; int(next) < ctx.Graph().N() {
+		ctx.Send(next, m)
+	}
+}
+
+// The controller stops a protocol that exceeds its budget.
+func ExampleRunControlled() {
+	g := costsense.Ring(6, costsense.ConstWeights(2))
+	procs := make([]costsense.Process, g.N())
+	for v := range procs {
+		procs[v] = &chatterbox{}
+	}
+	res, _, err := costsense.RunControlled(g, procs, 0, 50, costsense.WithEventLimit(1_000_000))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("stopped:", res.Exhausted)
+	fmt.Println("within budget:", res.Consumed <= 50)
+	// Output:
+	// stopped: true
+	// within budget: true
+}
+
+// chatterbox answers every message forever — a runaway protocol.
+type chatterbox struct{}
+
+func (chatterbox) Init(ctx costsense.Context) {
+	if ctx.ID() == 0 {
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, 0)
+		}
+	}
+}
+
+func (chatterbox) Handle(ctx costsense.Context, from costsense.NodeID, _ costsense.Message) {
+	ctx.Send(from, 0)
+}

@@ -1,0 +1,60 @@
+// Clockfarm: cost-sensitive clock synchronization on a sensor mesh
+// with slow satellite uplinks.
+//
+// The mesh is a line of sensors joined by fast local radio (cost 1);
+// every second sensor also has a satellite link to a hub two hops away
+// (cost 100 000 — five orders of magnitude slower). The classical
+// synchronizer α* paces everyone at the speed of the slowest link,
+// pulse delay Θ(W). The paper's γ* (§3.3) builds a tree edge-cover of
+// depth O(d·log n) — where d, the largest distance between neighbors,
+// is 2 here — and pulses ~W/(d·log²n) times faster.
+//
+// Run: go run ./examples/clockfarm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costsense"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n      = 64
+		slow   = 100_000
+		pulses = 10
+	)
+	g := costsense.HeavyChordRing(n, slow)
+	d := costsense.MaxNeighborDist(g)
+	fmt.Printf("sensor mesh: n=%d  W=%d (satellite)  d=%d (radio bypass)\n\n", n, slow, d)
+
+	alpha, err := costsense.RunClockAlpha(g, pulses)
+	if err != nil {
+		return err
+	}
+	gamma, err := costsense.RunClockGamma(g, pulses)
+	if err != nil {
+		return err
+	}
+	for name, r := range map[string]*costsense.ClockResult{"α*": alpha, "γ*": gamma} {
+		if err := r.CausalOK(g); err != nil {
+			return fmt.Errorf("%s violates pulse causality: %w", name, err)
+		}
+	}
+
+	fmt.Printf("α* (talk over every link):   pulse delay %8d   total time %10d\n",
+		alpha.MaxDelay(), alpha.Stats.FinishTime)
+	fmt.Printf("γ* (tree edge-cover of §3):  pulse delay %8d   total time %10d\n",
+		gamma.MaxDelay(), gamma.Stats.FinishTime)
+	fmt.Printf("\nspeedup: %.0fx — the satellite links never sit on a synchronization path,\n",
+		float64(alpha.MaxDelay())/float64(gamma.MaxDelay()))
+	fmt.Println("because every satellite pair is also covered by a shallow radio tree.")
+	return nil
+}

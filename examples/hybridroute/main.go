@@ -1,0 +1,76 @@
+// Hybridroute: build routing state (a shortest path tree) from a
+// gateway with the §9 SPT algorithms.
+//
+// On a metro-area grid, SPTrecur (the strip method) processes the
+// distance range in √𝓓-deep strips: global synchronization only every
+// strip, free-running relaxation inside. SPTsynch instead runs the
+// trivially-correct synchronous flood under synchronizer γ_w. Both
+// yield exact shortest path routes; SPThybrid picks the predicted
+// cheaper one.
+//
+// Run: go run ./examples/hybridroute
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"costsense"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 9x9 metro grid; link costs model expected congestion delay.
+	g := costsense.Grid(9, 9, costsense.UniformWeights(20, 11))
+	gateway := costsense.NodeID(0)
+	want := costsense.Dijkstra(g, gateway)
+
+	strip := costsense.DefaultStripLen(g, gateway)
+	recur, err := costsense.RunSPTRecur(g, gateway, strip)
+	if err != nil {
+		return err
+	}
+	synch, err := costsense.RunSPTSynch(g, gateway, 2)
+	if err != nil {
+		return err
+	}
+	hybrid, winner, err := costsense.RunSPTHybrid(g, gateway, 2)
+	if err != nil {
+		return err
+	}
+
+	for name, res := range map[string]*costsense.SPTResult{
+		"SPTrecur": recur, "SPTsynch": synch, "SPThybrid": hybrid,
+	} {
+		for v := range res.Dist {
+			if res.Dist[v] != want.Dist[v] {
+				return fmt.Errorf("%s: wrong distance at node %d", name, v)
+			}
+		}
+	}
+
+	fmt.Printf("metro grid: n=%d  𝓔=%d  𝓓=%d  (strip depth ℓ=%d)\n\n",
+		g.N(), g.TotalWeight(), costsense.Diameter(g), strip)
+	fmt.Printf("SPTrecur  : comm=%7d  time=%6d\n", recur.Stats.Comm, recur.Stats.FinishTime)
+	fmt.Printf("SPTsynch  : comm=%7d  time=%6d\n", synch.Stats.Comm, synch.Stats.FinishTime)
+	fmt.Printf("SPThybrid : comm=%7d  time=%6d  (chose %s)\n\n",
+		hybrid.Stats.Comm, hybrid.Stats.FinishTime, winner)
+
+	// Print the route from the far corner back to the gateway.
+	far := costsense.NodeID(g.N() - 1)
+	tree := hybrid.Tree(g, gateway)
+	fmt.Printf("route %d -> %d (dist %d): ", far, gateway, hybrid.Dist[far])
+	for i, hop := range tree.PathToRoot(far) {
+		if i > 0 {
+			fmt.Print(" -> ")
+		}
+		fmt.Print(hop)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,3 @@
+module costsense
+
+go 1.22

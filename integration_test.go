@@ -1,0 +1,276 @@
+// Integration tests: end-to-end flows through the public API, chaining
+// multiple subsystems the way a downstream user would.
+package costsense_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"costsense"
+)
+
+// TestEndToEndAggregationPipeline chains leader election → SLT → global
+// aggregation: the full §2 workflow on top of §8 machinery.
+func TestEndToEndAggregationPipeline(t *testing.T) {
+	g := costsense.RandomConnected(60, 150, costsense.UniformWeights(24, 5), 5)
+
+	// 1. Elect a coordinator with MSTghs.
+	leader, mstRes, err := costsense.RunLeaderElection(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mstRes.Weight() != costsense.MSTWeight(g) {
+		t.Fatal("election byproduct is not the MST")
+	}
+
+	// 2. Build a shallow-light tree rooted at the leader.
+	tree, _, err := costsense.BuildSLT(g, leader, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !costsense.IsShallowLight(g, tree, 2) {
+		t.Fatal("tree is not shallow-light")
+	}
+
+	// 3. Aggregate a global maximum over it.
+	rng := rand.New(rand.NewSource(9))
+	inputs := make([]int64, g.N())
+	var want int64
+	for i := range inputs {
+		inputs[i] = rng.Int63n(1 << 30)
+		if inputs[i] > want {
+			want = inputs[i]
+		}
+	}
+	res, err := costsense.Compute(g, tree, inputs, costsense.Max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != want {
+		t.Fatalf("max = %d, want %d", res.Value, want)
+	}
+	// The combined comm stays within the cost-sensitive budget:
+	// election O(𝓔+𝓥logn) + aggregation O(𝓥).
+	if res.Stats.Comm > 4*costsense.MSTWeight(g)+1 {
+		t.Fatalf("aggregation comm %d exceeds O(𝓥)", res.Stats.Comm)
+	}
+}
+
+// TestExpansionReductionMatchesSPT executes §9.2's reduction literally:
+// flooding the unit-edge expansion reaches original vertices exactly at
+// their weighted distances, agreeing with the distributed SPTrecur.
+func TestExpansionReductionMatchesSPT(t *testing.T) {
+	g := costsense.RandomConnected(25, 60, costsense.UniformWeights(8, 7), 7)
+	x, err := costsense.Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := costsense.BFS(x.G, 0)
+	spt, err := costsense.RunSPTRecur(g, 0, costsense.DefaultStripLen(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if hops[v] != spt.Dist[v] {
+			t.Fatalf("expansion BFS[%d] = %d, SPTrecur says %d", v, hops[v], spt.Dist[v])
+		}
+	}
+}
+
+// TestControlledTerminationDetectedFlood stacks the §5 controller on
+// top of DS80 termination detection: the initiator both meters and
+// detects the end of a flood.
+func TestControlledTerminationDetectedFlood(t *testing.T) {
+	g := costsense.Grid(6, 6, costsense.UniformWeights(8, 11))
+	inner := make([]costsense.Process, g.N())
+	for v := range inner {
+		inner[v] = &intFlood{}
+	}
+	// Detector inside, controller outside.
+	det := make([]*detProbe, g.N())
+	wrapped := make([]costsense.Process, g.N())
+	for v := range inner {
+		det[v] = &detProbe{inner: inner[v]}
+		wrapped[v] = det[v]
+	}
+	res, _, err := costsense.RunControlled(g, wrapped, 0, 2*g.TotalWeight()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhausted {
+		t.Fatal("budget 2𝓔 must suffice for a flood")
+	}
+	for v := range det {
+		if !inner[v].(*intFlood).got {
+			t.Fatalf("node %d missed the flood under the stack", v)
+		}
+	}
+}
+
+// detProbe is a trivial pass-through wrapper (stands in for a user's
+// own instrumentation layer).
+type detProbe struct{ inner costsense.Process }
+
+func (d *detProbe) Init(ctx costsense.Context) { d.inner.Init(ctx) }
+func (d *detProbe) Handle(ctx costsense.Context, from costsense.NodeID, m costsense.Message) {
+	d.inner.Handle(ctx, from, m)
+}
+
+type intFlood struct{ got bool }
+
+func (f *intFlood) Init(ctx costsense.Context) {
+	if ctx.ID() == 0 {
+		f.got = true
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, 1)
+		}
+	}
+}
+
+func (f *intFlood) Handle(ctx costsense.Context, from costsense.NodeID, _ costsense.Message) {
+	if f.got {
+		return
+	}
+	f.got = true
+	for _, h := range ctx.Neighbors() {
+		if h.To != from {
+			ctx.Send(h.To, 1)
+		}
+	}
+}
+
+// TestTerminationDetectionAPI exercises RunWithTermination through the
+// facade.
+func TestTerminationDetectionAPI(t *testing.T) {
+	g := costsense.Ring(16, costsense.UniformWeights(8, 13))
+	inner := make([]costsense.Process, g.N())
+	for v := range inner {
+		inner[v] = &intFlood{}
+	}
+	res, _, err := costsense.RunWithTermination(g, inner, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("termination not detected")
+	}
+	if res.DetectedAt < costsense.Dijkstra(g, 0).Dist[8] {
+		t.Fatal("detected before the flood could have finished")
+	}
+}
+
+// TestSynchronizerAgreementThroughFacade cross-checks all three
+// synchronizers and the reference executor on the same protocol.
+func TestSynchronizerAgreementThroughFacade(t *testing.T) {
+	g := costsense.HeavyChordRing(20, 32)
+	ref := costsense.NewSPTSyncProcs(g, 0)
+	refRes, err := costsense.SyncRun(g, ref, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := costsense.SPTSyncDists(ref)
+	pulses := refRes.Stats.Pulses + 2
+
+	for _, tc := range []struct {
+		name string
+		run  func([]costsense.SyncProcess) (*costsense.SynchOverhead, error)
+	}{
+		{"alpha", func(p []costsense.SyncProcess) (*costsense.SynchOverhead, error) {
+			return costsense.RunSynchAlpha(g, p, pulses)
+		}},
+		{"beta", func(p []costsense.SyncProcess) (*costsense.SynchOverhead, error) {
+			return costsense.RunSynchBeta(g, p, pulses)
+		}},
+		{"gammaW", func(p []costsense.SyncProcess) (*costsense.SynchOverhead, error) {
+			return costsense.RunSynchGammaW(g, p, pulses, 2)
+		}},
+	} {
+		procs := costsense.NewSPTSyncProcs(g, 0)
+		if _, err := tc.run(procs); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got := costsense.SPTSyncDists(procs)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("%s: Dist[%d] = %d, want %d", tc.name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestAllSpanningAlgorithmsAgree runs every tree-building algorithm in
+// the library on one graph and cross-checks the invariants tying them
+// together: MST weight, SPT distances, SLT bounds.
+func TestAllSpanningAlgorithmsAgree(t *testing.T) {
+	g := costsense.RandomConnected(40, 100, costsense.UniformWeights(32, 17), 17)
+	vv := costsense.MSTWeight(g)
+	want := costsense.Dijkstra(g, 0)
+
+	ghs, err := costsense.RunGHS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := costsense.RunMSTFast(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := costsense.RunMSTHybrid(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centr, err := costsense.RunMSTCentr(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range map[string]int64{
+		"ghs":    ghs.Weight(),
+		"fast":   fast.Weight(),
+		"hybrid": hybrid.Result.Weight(),
+		"centr":  centr.Tree(g, 0).Weight(),
+	} {
+		if w != vv {
+			t.Errorf("%s weight = %d, want 𝓥 = %d", name, w, vv)
+		}
+	}
+
+	recur, err := costsense.RunSPTRecur(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sptc, err := costsense.RunSPTCentr(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range recur.Dist {
+		if recur.Dist[v] != want.Dist[v] || sptc.Dist[v] != want.Dist[v] {
+			t.Fatalf("SPT distance mismatch at %d", v)
+		}
+	}
+
+	conn, err := costsense.RunCONHybrid(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conn.Parent) != g.N() {
+		t.Fatal("connectivity result malformed")
+	}
+}
+
+// TestClockFacade sanity-checks the three clock synchronizers through
+// the facade on a single graph.
+func TestClockFacade(t *testing.T) {
+	g := costsense.HeavyChordRing(24, 5000)
+	for name, run := range map[string]func(*costsense.Graph, int64, ...costsense.Option) (*costsense.ClockResult, error){
+		"alpha": costsense.RunClockAlpha,
+		"beta":  costsense.RunClockBeta,
+		"gamma": costsense.RunClockGamma,
+	} {
+		res, err := run(g, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.CausalOK(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package clocksync implements the clock synchronization methods of §3
+// of the paper: each node must generate a sequence of pulses such that
+// pulse p at a node is generated causally after all its neighbors
+// generated pulse p-1. The figure of merit is the *pulse delay* [ER90]:
+// the maximal time between two successive pulses at a node.
+//
+//	α* — exchange pulse tokens over every edge: delay O(W);
+//	β* — convergecast/broadcast on a spanning (shallow-light) tree:
+//	     delay O(𝓓);
+//	γ* — the paper's contribution: a tree edge-cover (Def 3.1) of
+//	     depth O(d log n); β* inside every tree plus a done-relay
+//	     between neighboring trees gives delay O(d·log²n) — an
+//	     arbitrarily large improvement when d << W.
+//
+// The simulator's links are congestion-free (a message always takes
+// w(e) regardless of load), so the measured γ* delay tracks O(d log n);
+// the extra log n of the paper is the congestion factor of edges shared
+// by O(log n) trees.
+package clocksync
+
+import (
+	"fmt"
+
+	"costsense/internal/cover"
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+	"costsense/internal/slt"
+)
+
+// Clock synchronizer messages.
+type (
+	// MsgPulse carries "I generated pulse P" over one edge (α*).
+	MsgPulse struct{ P int64 }
+	// MsgReady converges "subtree generated pulse P" toward a tree
+	// leader (β*, γ* phase 1). Tree is the tree index (γ*).
+	MsgReady struct {
+		Tree int
+		P    int64
+	}
+	// MsgGo releases pulse P down a tree (β*, γ*).
+	MsgGo struct {
+		Tree int
+		P    int64
+	}
+	// MsgTreeDone broadcasts "tree Tree finished pulse P" down that
+	// tree so members can relay it to neighboring trees (γ*).
+	MsgTreeDone struct {
+		Tree int
+		P    int64
+	}
+	// MsgNbrDone carries "tree Src is done with P" up tree Tree toward
+	// its leader (γ* phase 2).
+	MsgNbrDone struct {
+		Tree int
+		Src  int
+		P    int64
+	}
+)
+
+// Result holds the pulse trace of a clock synchronization run.
+type Result struct {
+	// Times[v][p-1] is the generation time of pulse p at node v.
+	Times [][]int64
+	// Pulses is the number of pulses generated per node.
+	Pulses int64
+	Stats  *sim.Stats
+}
+
+// MaxDelay returns the pulse delay: the maximum over nodes and pulses
+// of the time between consecutive pulses (pulse 1 counted from 0).
+func (r *Result) MaxDelay() int64 {
+	var m int64
+	for _, ts := range r.Times {
+		prev := int64(0)
+		for _, t := range ts {
+			if d := t - prev; d > m {
+				m = d
+			}
+			prev = t
+		}
+	}
+	return m
+}
+
+// CausalOK verifies the §3 specification: pulse p at a node is
+// generated no earlier than pulse p-1 at each of its neighbors.
+func (r *Result) CausalOK(g *graph.Graph) error {
+	for v := 0; v < g.N(); v++ {
+		for _, h := range g.Adj(graph.NodeID(v)) {
+			for p := 1; p < len(r.Times[v]); p++ {
+				if r.Times[v][p] < r.Times[h.To][p-1] {
+					return fmt.Errorf("clocksync: node %d pulse %d at t=%d precedes neighbor %d pulse %d at t=%d",
+						v, p+1, r.Times[v][p], h.To, p, r.Times[h.To][p-1])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func gather(procs []pulseTimes, pulses int64, stats *sim.Stats) (*Result, error) {
+	res := &Result{Pulses: pulses, Stats: stats}
+	for v, p := range procs {
+		ts := p.pulseTimes()
+		if int64(len(ts)) != pulses {
+			return nil, fmt.Errorf("clocksync: node %d generated %d pulses, want %d", v, len(ts), pulses)
+		}
+		res.Times = append(res.Times, ts)
+	}
+	return res, nil
+}
+
+type pulseTimes interface{ pulseTimes() []int64 }
+
+// alphaStarProc implements synchronizer α* (§3.1).
+type alphaStarProc struct {
+	pulses int64
+	p      int64
+	recv   map[int64]int
+	times  []int64
+}
+
+var _ sim.Process = (*alphaStarProc)(nil)
+
+func (a *alphaStarProc) pulseTimes() []int64 { return a.times }
+
+func (a *alphaStarProc) generate(ctx sim.Context) {
+	a.p++
+	a.times = append(a.times, ctx.Now())
+	ctx.Record("pulse", a.p)
+	if a.p >= a.pulses {
+		return
+	}
+	for _, h := range ctx.Neighbors() {
+		ctx.SendClass(h.To, MsgPulse{P: a.p}, sim.ClassSync)
+	}
+}
+
+func (a *alphaStarProc) tryNext(ctx sim.Context) {
+	for a.p < a.pulses && a.recv[a.p] == len(ctx.Neighbors()) {
+		a.generate(ctx)
+	}
+}
+
+func (a *alphaStarProc) Init(ctx sim.Context) {
+	a.recv = make(map[int64]int)
+	a.generate(ctx)
+}
+
+func (a *alphaStarProc) Handle(ctx sim.Context, _ graph.NodeID, m sim.Message) {
+	msg, ok := m.(MsgPulse)
+	if !ok {
+		panic(fmt.Sprintf("clocksync: α* got %T", m))
+	}
+	a.recv[msg.P]++
+	a.tryNext(ctx)
+}
+
+// RunAlphaStar generates the given number of pulses under α*.
+func RunAlphaStar(g *graph.Graph, pulses int64, opts ...sim.Option) (*Result, error) {
+	procs := make([]sim.Process, g.N())
+	ps := make([]pulseTimes, g.N())
+	for v := range procs {
+		a := &alphaStarProc{pulses: pulses}
+		procs[v] = a
+		ps[v] = a
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gather(ps, pulses, stats)
+}
+
+// betaStarProc implements synchronizer β* (§3.2) over a given tree.
+type betaStarProc struct {
+	pulses   int64
+	parent   graph.NodeID
+	children []graph.NodeID
+
+	p          int64
+	childReady map[int64]int
+	times      []int64
+}
+
+var _ sim.Process = (*betaStarProc)(nil)
+
+func (b *betaStarProc) pulseTimes() []int64 { return b.times }
+
+func (b *betaStarProc) generate(ctx sim.Context) {
+	b.p++
+	b.times = append(b.times, ctx.Now())
+	ctx.Record("pulse", b.p)
+	b.checkReady(ctx)
+}
+
+func (b *betaStarProc) checkReady(ctx sim.Context) {
+	p := b.p
+	if p == 0 || b.childReady[p] != len(b.children) {
+		return
+	}
+	if b.parent >= 0 {
+		ctx.SendClass(b.parent, MsgReady{P: p}, sim.ClassSync)
+		return
+	}
+	if p < b.pulses {
+		b.release(ctx, p+1)
+	}
+}
+
+func (b *betaStarProc) release(ctx sim.Context, p int64) {
+	for _, c := range b.children {
+		ctx.SendClass(c, MsgGo{P: p}, sim.ClassSync)
+	}
+	b.generate(ctx)
+}
+
+func (b *betaStarProc) Init(ctx sim.Context) {
+	b.childReady = make(map[int64]int)
+	b.generate(ctx)
+}
+
+func (b *betaStarProc) Handle(ctx sim.Context, _ graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgReady:
+		b.childReady[msg.P]++
+		b.checkReady(ctx)
+	case MsgGo:
+		b.release(ctx, msg.P)
+	default:
+		panic(fmt.Sprintf("clocksync: β* got %T", m))
+	}
+}
+
+// RunBetaStar generates pulses under β* over a shallow-light tree
+// rooted at the graph center (pulse delay O(𝓓); an MST tree would pay
+// O(n𝓓) — use RunBetaStarTree to ablate the choice).
+func RunBetaStar(g *graph.Graph, pulses int64, opts ...sim.Option) (*Result, error) {
+	_, center := graph.Radius(g)
+	if center < 0 {
+		return nil, fmt.Errorf("clocksync: graph is disconnected")
+	}
+	tree, _, err := slt.Build(g, center, 2)
+	if err != nil {
+		return nil, err
+	}
+	return RunBetaStarTree(g, pulses, tree, opts...)
+}
+
+// RunBetaStarTree runs β* over an explicit spanning tree.
+func RunBetaStarTree(g *graph.Graph, pulses int64, tree *graph.Tree, opts ...sim.Option) (*Result, error) {
+	if !tree.Spanning() {
+		return nil, fmt.Errorf("clocksync: β* tree does not span")
+	}
+	procs := make([]sim.Process, g.N())
+	ps := make([]pulseTimes, g.N())
+	for v := range procs {
+		b := &betaStarProc{
+			pulses:   pulses,
+			parent:   tree.Parent[v],
+			children: tree.Children(graph.NodeID(v)),
+		}
+		procs[v] = b
+		ps[v] = b
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gather(ps, pulses, stats)
+}
+
+// RunGammaStar generates pulses under γ* (§3.3) over a tree edge-cover
+// built with k = ceil(log2 n), the Lemma 3.2 setting.
+func RunGammaStar(g *graph.Graph, pulses int64, opts ...sim.Option) (*Result, error) {
+	tc := cover.NewTreeCover(g)
+	return runGammaStar(g, tc, pulses, opts...)
+}
+
+// RunGammaStarK runs γ* over a tree edge-cover coarsened with an
+// explicit parameter k, exposing the Thm 1.1 radius/degree trade for
+// ablation: small k gives shallow trees but high edge congestion,
+// large k the reverse.
+func RunGammaStarK(g *graph.Graph, pulses int64, k int, opts ...sim.Option) (*Result, error) {
+	tc := cover.NewTreeCoverK(g, k)
+	return runGammaStar(g, tc, pulses, opts...)
+}

@@ -1,0 +1,225 @@
+package clocksync
+
+import (
+	"math"
+	"testing"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+	"costsense/internal/slt"
+)
+
+const testPulses = 12
+
+func checkClockRun(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	if err := res.CausalOK(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.Pulses != testPulses {
+		t.Fatalf("Pulses = %d, want %d", res.Pulses, testPulses)
+	}
+	for v, ts := range res.Times {
+		for p := 1; p < len(ts); p++ {
+			if ts[p] <= ts[p-1] {
+				t.Fatalf("node %d: pulse %d at %d not after pulse %d at %d", v, p+1, ts[p], p, ts[p-1])
+			}
+		}
+	}
+}
+
+func TestAlphaStar(t *testing.T) {
+	g := graph.HeavyChordRing(24, 200)
+	res, err := RunAlphaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClockRun(t, g, res)
+	// α* delay is Θ(W): each pulse must wait for the heaviest edge.
+	w := g.MaxWeight()
+	if d := res.MaxDelay(); d < w || d > 3*w {
+		t.Errorf("α* MaxDelay = %d, want ≈ W = %d", d, w)
+	}
+}
+
+func TestBetaStar(t *testing.T) {
+	g := graph.HeavyChordRing(24, 200)
+	res, err := RunBetaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClockRun(t, g, res)
+	// β* delay is O(𝓓) (2·SLT depth).
+	dd := graph.Diameter(g)
+	if d := res.MaxDelay(); d > 12*dd {
+		t.Errorf("β* MaxDelay = %d > 12𝓓 = %d", d, 12*dd)
+	}
+}
+
+func TestGammaStar(t *testing.T) {
+	g := graph.HeavyChordRing(32, 100000)
+	res, err := RunGammaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClockRun(t, g, res)
+	// γ* delay is O(d log² n), crucially independent of W.
+	d := graph.MaxNeighborDist(g)
+	logn := math.Log2(float64(g.N()))
+	bound := int64(20 * float64(d) * logn * logn)
+	if got := res.MaxDelay(); got > bound {
+		t.Errorf("γ* MaxDelay = %d > 20·d·log²n = %d", got, bound)
+	}
+	if got := res.MaxDelay(); got >= g.MaxWeight() {
+		t.Errorf("γ* MaxDelay = %d should be << W = %d", got, g.MaxWeight())
+	}
+}
+
+func TestGammaStarBeatsAlphaStarWhenDLLW(t *testing.T) {
+	// §3's headline: when d << W, γ* improves the pulse delay by a
+	// factor of ~W/(d·log²n).
+	g := graph.HeavyChordRing(32, 100000)
+	alpha, err := RunAlphaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, err := RunGammaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma.MaxDelay()*10 > alpha.MaxDelay() {
+		t.Errorf("γ* delay %d should be at least 10x below α* delay %d",
+			gamma.MaxDelay(), alpha.MaxDelay())
+	}
+}
+
+func TestClockSyncFamilies(t *testing.T) {
+	families := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid", graph.Grid(5, 5, graph.UniformWeights(8, 1))},
+		{"random", graph.RandomConnected(30, 70, graph.UniformWeights(16, 2), 2)},
+		{"path", graph.Path(12, graph.UniformWeights(5, 3))},
+		{"complete", graph.Complete(10, graph.UniformWeights(30, 4))},
+	}
+	runners := []struct {
+		name string
+		run  func(*graph.Graph, int64, ...sim.Option) (*Result, error)
+	}{
+		{"alpha*", RunAlphaStar},
+		{"beta*", RunBetaStar},
+		{"gamma*", RunGammaStar},
+	}
+	for _, fam := range families {
+		for _, r := range runners {
+			t.Run(fam.name+"/"+r.name, func(t *testing.T) {
+				res, err := r.run(fam.g, testPulses)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkClockRun(t, fam.g, res)
+			})
+		}
+	}
+}
+
+func TestClockSyncUnderRandomDelays(t *testing.T) {
+	g := graph.RandomConnected(20, 50, graph.UniformWeights(20, 5), 5)
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := RunGammaStar(g, testPulses, sim.WithDelay(sim.DelayUniform{}), sim.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkClockRun(t, g, res)
+	}
+}
+
+func TestPulseDelayMeasurement(t *testing.T) {
+	r := &Result{Times: [][]int64{{2, 5, 11}, {3, 6, 9}}, Pulses: 3}
+	if d := r.MaxDelay(); d != 6 {
+		t.Fatalf("MaxDelay = %d, want 6 (11-5)", d)
+	}
+}
+
+func TestBetaStarTreeAblation(t *testing.T) {
+	// β* pulse delay follows the tree depth: the SLT's O(𝓓) beats the
+	// MST's O(√n·𝓓) on the separation instance.
+	g := graph.ShallowLightGap(64)
+	hub := graph.NodeID(g.N() - 1)
+	sltTree, _, err := slt.Build(g, hub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mstTree := graph.PrimTree(g, hub)
+	overSLT, err := RunBetaStarTree(g, testPulses, sltTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overMST, err := RunBetaStarTree(g, testPulses, mstTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClockRun(t, g, overSLT)
+	checkClockRun(t, g, overMST)
+	if 2*overSLT.MaxDelay() > overMST.MaxDelay() {
+		t.Errorf("β* over SLT (delay %d) should clearly beat β* over MST (delay %d)",
+			overSLT.MaxDelay(), overMST.MaxDelay())
+	}
+}
+
+func TestBetaStarTreeRejectsPartialTree(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights())
+	partial := graph.NewTree(g, 0, []graph.NodeID{-1, 0, 1, -1})
+	if _, err := RunBetaStarTree(g, 3, partial); err == nil {
+		t.Fatal("non-spanning tree must be rejected")
+	}
+}
+
+func TestGammaStarKSweep(t *testing.T) {
+	// The Thm 1.1 trade surfacing in γ*: per-pulse traffic falls with
+	// k while delay grows (deeper cover trees); causality holds at all k.
+	g := graph.Grid(6, 6, graph.UniformWeights(10, 3))
+	prevComm := int64(0)
+	for _, k := range []int{2, 4, 8} {
+		res, err := RunGammaStarK(g, testPulses, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		checkClockRun(t, g, res)
+		if prevComm > 0 && res.Stats.Comm > 2*prevComm {
+			t.Errorf("k=%d: per-run traffic %d grew sharply over %d", k, res.Stats.Comm, prevComm)
+		}
+		prevComm = res.Stats.Comm
+	}
+}
+
+func TestGammaStarCongestionFactor(t *testing.T) {
+	// Under capacitated links, edges shared by O(log n) cover trees
+	// serialize their per-pulse traffic — the congestion log n of the
+	// paper's O(d·log²n). The delay must grow versus the plain model
+	// but stay far below W.
+	g := graph.HeavyChordRing(64, 100_000)
+	plain, err := RunGammaStar(g, testPulses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested, err := RunGammaStar(g, testPulses, sim.WithCongestion())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClockRun(t, g, congested)
+	if congested.MaxDelay() < plain.MaxDelay() {
+		t.Errorf("congestion cannot speed pulses up: %d vs %d",
+			congested.MaxDelay(), plain.MaxDelay())
+	}
+	d := graph.MaxNeighborDist(g)
+	logn := math.Log2(float64(g.N()))
+	bound := int64(20 * float64(d) * logn * logn)
+	if got := congested.MaxDelay(); got > bound {
+		t.Errorf("congested γ* delay %d > 20·d·log²n = %d", got, bound)
+	}
+	if congested.MaxDelay() >= g.MaxWeight()/10 {
+		t.Errorf("congested γ* delay %d should stay far below W", congested.MaxDelay())
+	}
+}

@@ -1,0 +1,219 @@
+package clocksync
+
+import (
+	"fmt"
+	"sort"
+
+	"costsense/internal/cover"
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// gammaStarProc implements synchronizer γ* (§3.3). Each node belongs
+// to the trees of a tree edge-cover; per pulse it runs a β*-style
+// convergecast in every containing tree (phase 1), tree leaders
+// announce completion down their trees, designated shared nodes relay
+// the announcement into neighboring trees, and a leader releases the
+// next pulse once its own tree and all neighboring trees are done
+// (phase 2).
+type gammaStarProc struct {
+	pulses   int64
+	trees    []int // trees containing this node
+	parent   map[int]graph.NodeID
+	children map[int][]graph.NodeID
+	leaderOf map[int]bool
+	// duties[src] lists destination trees whose leaders this node must
+	// inform when tree src completes a pulse.
+	duties map[int][]int
+	// nbrCount[i] is, at the leader of tree i, the number of
+	// neighboring trees.
+	nbrCount map[int]int
+
+	p          int64
+	times      []int64
+	childReady map[int]map[int64]int
+	ownDone    map[int]map[int64]bool
+	nbrDone    map[int]map[int64]int
+	goRecv     map[int]map[int64]bool
+}
+
+var _ sim.Process = (*gammaStarProc)(nil)
+
+func (g *gammaStarProc) pulseTimes() []int64 { return g.times }
+
+func mp2[V any](trees []int) map[int]map[int64]V {
+	m := make(map[int]map[int64]V, len(trees))
+	for _, t := range trees {
+		m[t] = make(map[int64]V)
+	}
+	return m
+}
+
+func (g *gammaStarProc) Init(ctx sim.Context) {
+	g.childReady = mp2[int](g.trees)
+	g.ownDone = mp2[bool](g.trees)
+	g.nbrDone = mp2[int](g.trees)
+	g.goRecv = mp2[bool](g.trees)
+	g.generate(ctx)
+}
+
+func (g *gammaStarProc) generate(ctx sim.Context) {
+	g.p++
+	g.times = append(g.times, ctx.Now())
+	ctx.Record("pulse", g.p)
+	for _, ti := range g.trees {
+		g.checkReady(ctx, ti, g.p)
+	}
+}
+
+// checkReady is the phase-1 convergecast of tree ti for pulse p.
+func (g *gammaStarProc) checkReady(ctx sim.Context, ti int, p int64) {
+	if g.p < p || g.childReady[ti][p] != len(g.children[ti]) {
+		return
+	}
+	if par := g.parent[ti]; par >= 0 {
+		ctx.SendClass(par, MsgReady{Tree: ti, P: p}, sim.ClassSync)
+		return
+	}
+	// Leader of ti: the tree is done with pulse p.
+	g.onTreeDone(ctx, ti, p)
+}
+
+// onTreeDone handles the "tree ti done with p" broadcast at a member.
+func (g *gammaStarProc) onTreeDone(ctx sim.Context, ti int, p int64) {
+	if g.ownDone[ti][p] {
+		return
+	}
+	g.ownDone[ti][p] = true
+	for _, c := range g.children[ti] {
+		ctx.SendClass(c, MsgTreeDone{Tree: ti, P: p}, sim.ClassSync)
+	}
+	// Relay duties: inform neighboring trees' leaders.
+	for _, dst := range g.duties[ti] {
+		g.sendNbrDone(ctx, dst, ti, p)
+	}
+	g.checkRelease(ctx, ti, p)
+}
+
+// sendNbrDone moves "tree src is done with p" one hop up tree dst.
+func (g *gammaStarProc) sendNbrDone(ctx sim.Context, dst, src int, p int64) {
+	if par := g.parent[dst]; par >= 0 {
+		ctx.SendClass(par, MsgNbrDone{Tree: dst, Src: src, P: p}, sim.ClassSync)
+		return
+	}
+	// This node leads dst.
+	g.nbrDone[dst][p]++
+	g.checkRelease(ctx, dst, p)
+}
+
+// checkRelease is phase 2 at the leader of tree ti.
+func (g *gammaStarProc) checkRelease(ctx sim.Context, ti int, p int64) {
+	if !g.leaderOf[ti] || !g.ownDone[ti][p] || g.nbrDone[ti][p] != g.nbrCount[ti] {
+		return
+	}
+	if p < g.pulses {
+		g.releaseGo(ctx, ti, p+1)
+	}
+}
+
+// releaseGo propagates the pulse release down tree ti.
+func (g *gammaStarProc) releaseGo(ctx sim.Context, ti int, p int64) {
+	if g.goRecv[ti][p] {
+		return
+	}
+	g.goRecv[ti][p] = true
+	for _, c := range g.children[ti] {
+		ctx.SendClass(c, MsgGo{Tree: ti, P: p}, sim.ClassSync)
+	}
+	g.tryGenerate(ctx)
+}
+
+func (g *gammaStarProc) tryGenerate(ctx sim.Context) {
+	for g.p < g.pulses {
+		next := g.p + 1
+		for _, ti := range g.trees {
+			if !g.goRecv[ti][next] {
+				return
+			}
+		}
+		g.generate(ctx)
+	}
+}
+
+func (g *gammaStarProc) Handle(ctx sim.Context, _ graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgReady:
+		g.childReady[msg.Tree][msg.P]++
+		g.checkReady(ctx, msg.Tree, msg.P)
+	case MsgTreeDone:
+		g.onTreeDone(ctx, msg.Tree, msg.P)
+	case MsgNbrDone:
+		g.sendNbrDone(ctx, msg.Tree, msg.Src, msg.P)
+	case MsgGo:
+		g.releaseGo(ctx, msg.Tree, msg.P)
+	default:
+		panic(fmt.Sprintf("clocksync: γ* got %T", m))
+	}
+}
+
+func runGammaStar(g *graph.Graph, tc *cover.TreeCover, pulses int64, opts ...sim.Option) (*Result, error) {
+	n := g.N()
+	nodes := make([]*gammaStarProc, n)
+	for v := range nodes {
+		nodes[v] = &gammaStarProc{
+			pulses:   pulses,
+			parent:   make(map[int]graph.NodeID),
+			children: make(map[int][]graph.NodeID),
+			leaderOf: make(map[int]bool),
+			duties:   make(map[int][]int),
+			nbrCount: make(map[int]int),
+		}
+	}
+	for ti, tr := range tc.Trees {
+		for _, v := range tr.Members() {
+			nd := nodes[v]
+			nd.trees = append(nd.trees, ti)
+			nd.parent[ti] = tr.Parent[v]
+			nd.children[ti] = tr.Children(v)
+			if tr.Root == v {
+				nd.leaderOf[ti] = true
+			}
+		}
+	}
+	// Neighboring trees and designated relays: for each unordered pair
+	// of trees sharing a vertex, the smallest shared vertex relays the
+	// done-announcement in both directions.
+	for i := range tc.Trees {
+		for j := i + 1; j < len(tc.Trees); j++ {
+			var shared []graph.NodeID
+			for _, v := range tc.Trees[i].Members() {
+				if tc.Trees[j].Contains(v) {
+					shared = append(shared, v)
+				}
+			}
+			if len(shared) == 0 {
+				continue
+			}
+			sort.Slice(shared, func(a, b int) bool { return shared[a] < shared[b] })
+			relay := nodes[shared[0]]
+			relay.duties[i] = append(relay.duties[i], j)
+			relay.duties[j] = append(relay.duties[j], i)
+			nodes[tc.Trees[i].Root].nbrCount[i]++
+			nodes[tc.Trees[j].Root].nbrCount[j]++
+		}
+	}
+	procs := make([]sim.Process, n)
+	ps := make([]pulseTimes, n)
+	for v := range procs {
+		if len(nodes[v].trees) == 0 {
+			return nil, fmt.Errorf("clocksync: node %d belongs to no cover tree", v)
+		}
+		procs[v] = nodes[v]
+		ps[v] = nodes[v]
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return gather(ps, pulses, stats)
+}

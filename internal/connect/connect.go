@@ -1,0 +1,221 @@
+// Package connect implements the connectivity / spanning tree
+// algorithms of §7 of the paper. The centerpiece is algorithm
+// CONhybrid (§7.2): algorithms DFS and MSTcentr run side by side, and
+// the root — which holds doubling estimates W_a and W_b of the
+// communication each has spent — suspends whichever is currently more
+// expensive. Since both estimates stay within a constant factor of the
+// true cost, and only the cheaper algorithm runs at any moment, the
+// total cost is at most a constant times min{𝓔, n𝓥}, matching the
+// Ω(min{𝓔, n𝓥}) lower bound of §7.1.
+package connect
+
+import (
+	"fmt"
+
+	"costsense/internal/basic"
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// algorithm tags for hybrid message multiplexing.
+const (
+	algDFS byte = 'd'
+	algMST byte = 'm'
+)
+
+// HybridMsg wraps a sub-algorithm message with its tag.
+type HybridMsg struct {
+	Alg   byte
+	Inner sim.Message
+}
+
+// algPort tags a core's sends with its algorithm.
+type algPort struct {
+	ctx sim.Context
+	alg byte
+}
+
+var _ basic.Port = algPort{}
+
+func (p algPort) ID() graph.NodeID        { return p.ctx.ID() }
+func (p algPort) Neighbors() []graph.Half { return p.ctx.Neighbors() }
+func (p algPort) Send(to graph.NodeID, m sim.Message) {
+	p.ctx.Send(to, HybridMsg{Alg: p.alg, Inner: m})
+}
+
+// arbiter is the root's §7.2 Permit logic. Exactly one sub-algorithm is
+// active at a time; the suspended one is parked with its center of
+// activity at the root.
+type arbiter struct {
+	wa, wb    int64 // root estimates of DFS and MSTcentr
+	dfsParked func(basic.Port)
+	mstParked func(basic.Port)
+	mst       *basic.CentrCore
+	mstOn     bool // MSTcentr started
+	ctx       sim.Context
+}
+
+// permitDFS applies the paper's rule: Permit = DFS iff W_a <= W_b.
+func (a *arbiter) permitDFS() bool { return a.wa <= a.wb }
+
+func (a *arbiter) activateMST() {
+	port := algPort{ctx: a.ctx, alg: algMST}
+	if !a.mstOn {
+		a.mstOn = true
+		a.mst.Start(port)
+		return
+	}
+	if a.mstParked != nil {
+		r := a.mstParked
+		a.mstParked = nil
+		r(port)
+	}
+}
+
+func (a *arbiter) activateDFS() {
+	if a.dfsParked != nil {
+		r := a.dfsParked
+		a.dfsParked = nil
+		r(algPort{ctx: a.ctx, alg: algDFS})
+	}
+}
+
+type dfsGate struct{ a *arbiter }
+
+func (g dfsGate) Report(est int64, resume func(basic.Port)) bool {
+	g.a.wa = est
+	if g.a.permitDFS() {
+		return true
+	}
+	g.a.dfsParked = resume
+	g.a.activateMST()
+	return false
+}
+
+type mstGate struct{ a *arbiter }
+
+func (g mstGate) Report(est int64, resume func(basic.Port)) bool {
+	g.a.wb = est
+	if !g.a.permitDFS() {
+		return true
+	}
+	g.a.mstParked = resume
+	g.a.activateDFS()
+	return false
+}
+
+// HybridProc runs the two cores at one node.
+type HybridProc struct {
+	DFS  *basic.DFSCore
+	MST  *basic.CentrCore
+	Root graph.NodeID
+	arb  *arbiter // root only
+}
+
+var _ sim.Process = (*HybridProc)(nil)
+
+// Init starts DFS at the root (W_a = W_b = 0; DFS holds the permit).
+func (h *HybridProc) Init(ctx sim.Context) {
+	if ctx.ID() != h.Root {
+		return
+	}
+	h.arb.ctx = ctx
+	h.DFS.Start(algPort{ctx: ctx, alg: algDFS})
+}
+
+// Handle demultiplexes to the cores.
+func (h *HybridProc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	hm, ok := m.(HybridMsg)
+	if !ok {
+		panic(fmt.Sprintf("connect: unexpected message %T", m))
+	}
+	if h.arb != nil {
+		h.arb.ctx = ctx // keep the arbiter bound to the live context
+	}
+	switch hm.Alg {
+	case algDFS:
+		h.DFS.Handle(algPort{ctx: ctx, alg: algDFS}, from, hm.Inner)
+	case algMST:
+		h.MST.Handle(algPort{ctx: ctx, alg: algMST}, from, hm.Inner)
+	default:
+		panic(fmt.Sprintf("connect: unknown algorithm tag %q", hm.Alg))
+	}
+}
+
+// HybridResult is the outcome of a CONhybrid run.
+type HybridResult struct {
+	// Winner names the sub-algorithm that completed ("dfs" or "mst").
+	Winner string
+	// Parent is the spanning tree found by the winner (-1 at root).
+	Parent []graph.NodeID
+	// InComponent marks the vertices in the root's connected
+	// component — CONhybrid is a connectivity algorithm, so it reports
+	// reachability rather than failing on disconnected inputs.
+	InComponent []bool
+	Stats       *sim.Stats
+}
+
+// Connected reports whether the whole graph is one component.
+func (r *HybridResult) Connected() bool {
+	for _, in := range r.InComponent {
+		if !in {
+			return false
+		}
+	}
+	return true
+}
+
+// RunCONHybrid executes algorithm CONhybrid from the given root,
+// returning a spanning tree with communication O(min{𝓔, n𝓥}).
+func RunCONHybrid(g *graph.Graph, root graph.NodeID, opts ...sim.Option) (*HybridResult, error) {
+	n := g.N()
+	procs := make([]sim.Process, n)
+	hps := make([]*HybridProc, n)
+	arb := &arbiter{}
+	for v := range procs {
+		hp := &HybridProc{
+			DFS:  basic.NewDFSCore(root),
+			MST:  basic.NewCentrCore(basic.ModeMST, root, n),
+			Root: root,
+		}
+		if graph.NodeID(v) == root {
+			hp.arb = arb
+			arb.mst = hp.MST
+			hp.DFS.Gate = dfsGate{a: arb}
+			hp.MST.Gate = mstGate{a: arb}
+		}
+		hps[v] = hp
+		procs[v] = hp
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &HybridResult{
+		Parent:      make([]graph.NodeID, n),
+		InComponent: make([]bool, n),
+		Stats:       stats,
+	}
+	res.InComponent[root] = true
+	switch {
+	case hps[root].DFS.Done:
+		res.Winner = "dfs"
+		for v := range hps {
+			res.Parent[v] = hps[v].DFS.Parent
+			if hps[v].DFS.Visited {
+				res.InComponent[v] = true
+			}
+		}
+	case hps[root].MST.Done:
+		res.Winner = "mst"
+		for v := range hps {
+			res.Parent[v] = hps[v].MST.Parent
+			if hps[v].MST.Member {
+				res.InComponent[v] = true
+			}
+		}
+	default:
+		return nil, fmt.Errorf("connect: CONhybrid quiesced with neither algorithm done")
+	}
+	return res, nil
+}

@@ -1,0 +1,61 @@
+package connect
+
+import (
+	"costsense/internal/basic"
+	"costsense/internal/graph"
+)
+
+// GnReport is the executable form of the §7.1 lower bound: the family
+// G_n separates edge-bound algorithms (DFS, flooding: Θ(𝓔), dominated
+// by the X⁴ bypass edges) from tree-bound algorithms (MSTcentr:
+// Θ(n𝓥) = Θ(n²X)), and any algorithm must pay Ω(min{𝓔, n𝓥}).
+type GnReport struct {
+	N          int
+	X          int64
+	E          int64 // 𝓔 = w(G_n): dominated by bypass edges, Θ(nX⁴)
+	NV         int64 // n·𝓥 = Θ(n²X)
+	FloodComm  int64
+	DFSComm    int64
+	MSTComm    int64
+	HybridComm int64
+}
+
+// RunGnExperiment measures the connectivity algorithms on G_n (§7.1).
+func RunGnExperiment(n int, x int64) (*GnReport, error) {
+	g := graph.HardConnectivity(n, x)
+	rep := &GnReport{
+		N:  n,
+		X:  x,
+		E:  g.TotalWeight(),
+		NV: int64(n) * graph.MSTWeight(g),
+	}
+	fl, err := basic.RunFlood(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.FloodComm = fl.Stats.Comm
+	dfs, err := basic.RunDFS(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.DFSComm = dfs.Stats.Comm
+	mst, err := basic.RunMSTCentr(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.MSTComm = mst.Stats.Comm
+	hy, err := RunCONHybrid(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.HybridComm = hy.Stats.Comm
+	return rep, nil
+}
+
+// MinBound returns min{𝓔, n𝓥}, the §7 tight bound for connectivity.
+func (r *GnReport) MinBound() int64 {
+	if r.E < r.NV {
+		return r.E
+	}
+	return r.NV
+}

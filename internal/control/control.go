@@ -1,0 +1,250 @@
+// Package control implements the controller of §5 (after [AAPS87]): a
+// protocol transformer that makes a diffusing computation "controlled"
+// — identical semantics on correct inputs, but bounded resource
+// consumption even when the protocol misbehaves.
+//
+// Every transmission of the inner protocol on edge e consumes w(e)
+// units of an abstract resource and must be covered by permits. The
+// permits live in per-node pools; shortfalls are requested up the
+// execution tree (the tree of first-receipt edges, rooted at the
+// initiator) and permits are granted downward, exactly as in the MAIN
+// CONTROLLER of [AAPS87]. Requests carry the exact outstanding demand
+// (the paper's aggregation-with-prefetch variant shaves the control
+// overhead from O(c·depth) to O(c·log² c); our measured overhead on
+// the evaluation workloads stays within the paper's O(c·log² c)
+// envelope, which the tests assert). The root holds a budget equal to
+// the threshold: a protocol whose correct cost c_π is at most the
+// threshold completes unperturbed, while a runaway protocol is
+// suspended — never exceeding the budget — once it is exhausted.
+package control
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Controller messages.
+type (
+	// MsgWrapped carries one inner protocol message.
+	MsgWrapped struct{ Inner sim.Message }
+	// MsgRequest asks the parent for Amount resource units.
+	MsgRequest struct{ Amount int64 }
+	// MsgGrant delivers Amount resource units.
+	MsgGrant struct{ Amount int64 }
+)
+
+type queuedSend struct {
+	to   graph.NodeID
+	m    sim.Message
+	cost int64
+}
+
+// Proc wraps one node's process under the controller.
+type Proc struct {
+	Inner sim.Process
+	// IsInitiator marks this node as a root of the diffusing
+	// computation. The paper treats a single initiator and notes the
+	// extension to multiple initiators is easy (§5): each initiator
+	// roots its own execution tree with its own budget, and every
+	// other node joins the tree whose message reaches it first.
+	IsInitiator bool
+	// Budget is the root's permit budget (initiators only).
+	Budget int64
+
+	// Consumed is the weighted cost of inner messages actually sent by
+	// this node.
+	Consumed int64
+	// Exhausted is set at the root when a request could not be served.
+	Exhausted bool
+
+	joined    bool
+	parent    graph.NodeID
+	pool      int64
+	queue     []queuedSend
+	owed      map[graph.NodeID]int64
+	owedOrder []graph.NodeID
+	inFlight  int64 // amount requested from parent, not yet granted
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// ctlCtx is the context handed to the inner protocol: sends are
+// intercepted and metered.
+type ctlCtx struct {
+	p   *Proc
+	ctx sim.Context
+}
+
+var _ sim.Context = (*ctlCtx)(nil)
+
+func (c *ctlCtx) ID() graph.NodeID         { return c.ctx.ID() }
+func (c *ctlCtx) Now() int64               { return c.ctx.Now() }
+func (c *ctlCtx) Graph() *graph.Graph      { return c.ctx.Graph() }
+func (c *ctlCtx) Neighbors() []graph.Half  { return c.ctx.Neighbors() }
+func (c *ctlCtx) Record(k string, v int64) { c.ctx.Record(k, v) }
+
+func (c *ctlCtx) Send(to graph.NodeID, m sim.Message) {
+	cost := c.ctx.Graph().Weight(c.ctx.ID(), to)
+	c.p.queue = append(c.p.queue, queuedSend{to: to, m: m, cost: cost})
+	c.p.drain(c.ctx)
+}
+
+func (c *ctlCtx) SendClass(to graph.NodeID, m sim.Message, _ sim.Class) {
+	c.Send(to, m) // all inner traffic is metered protocol traffic
+}
+
+// Init starts the inner protocol at the initiator.
+func (p *Proc) Init(ctx sim.Context) {
+	p.parent = -1
+	p.owed = make(map[graph.NodeID]int64)
+	if p.IsInitiator {
+		p.joined = true
+		p.pool = p.Budget
+		p.Inner.Init(&ctlCtx{p: p, ctx: ctx})
+		p.drain(ctx)
+	}
+}
+
+// drain sends queued inner messages covered by the pool and requests
+// the shortfall up the tree.
+func (p *Proc) drain(ctx sim.Context) {
+	for len(p.queue) > 0 && p.pool >= p.queue[0].cost {
+		q := p.queue[0]
+		p.queue = p.queue[1:]
+		p.pool -= q.cost
+		p.Consumed += q.cost
+		ctx.Send(q.to, MsgWrapped{Inner: q.m})
+	}
+	// Serve owed children from any remaining pool.
+	for len(p.owedOrder) > 0 && p.pool > 0 {
+		ch := p.owedOrder[0]
+		give := p.owed[ch]
+		if give > p.pool {
+			give = p.pool
+		}
+		p.pool -= give
+		p.owed[ch] -= give
+		if p.owed[ch] == 0 {
+			delete(p.owed, ch)
+			p.owedOrder = p.owedOrder[1:]
+		}
+		ctx.SendClass(ch, MsgGrant{Amount: give}, sim.ClassControl)
+	}
+	p.requestShortfall(ctx)
+}
+
+// shortfall is the uncovered demand at this node.
+func (p *Proc) shortfall() int64 {
+	var s int64
+	for _, q := range p.queue {
+		s += q.cost
+	}
+	for _, amt := range p.owed {
+		s += amt
+	}
+	return s - p.pool - p.inFlight
+}
+
+func (p *Proc) requestShortfall(ctx sim.Context) {
+	s := p.shortfall()
+	if s <= 0 {
+		return
+	}
+	if p.IsInitiator {
+		// Root out of budget: the execution is suspended here.
+		p.Exhausted = true
+		return
+	}
+	if !p.joined {
+		return // cannot request before joining the execution tree
+	}
+	p.inFlight += s
+	ctx.SendClass(p.parent, MsgRequest{Amount: s}, sim.ClassControl)
+}
+
+// Handle processes wrapped protocol traffic and permit flow.
+func (p *Proc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgWrapped:
+		if !p.joined {
+			p.joined = true
+			p.parent = from
+		}
+		p.Inner.Handle(&ctlCtx{p: p, ctx: ctx}, from, msg.Inner)
+		p.drain(ctx)
+	case MsgRequest:
+		if _, ok := p.owed[from]; !ok {
+			p.owedOrder = append(p.owedOrder, from)
+		}
+		p.owed[from] += msg.Amount
+		p.drain(ctx)
+	case MsgGrant:
+		p.pool += msg.Amount
+		p.inFlight -= msg.Amount
+		p.drain(ctx)
+	default:
+		panic(fmt.Sprintf("control: got %T", m))
+	}
+}
+
+// Result aggregates a controlled run.
+type Result struct {
+	Stats *sim.Stats
+	// Consumed is the total weighted cost of inner messages sent.
+	Consumed int64
+	// Exhausted reports whether the root budget ran out (a runaway
+	// protocol was stopped).
+	Exhausted bool
+	// ControlComm is the weighted cost of request/grant traffic.
+	ControlComm int64
+}
+
+// Run executes the inner processes under the controller with a single
+// initiator and the given threshold (the caller's bound on the correct
+// execution cost c_π). Consumption never exceeds the threshold.
+func Run(g *graph.Graph, inner []sim.Process, initiator graph.NodeID, threshold int64, opts ...sim.Option) (*Result, []*Proc, error) {
+	return RunMulti(g, inner, []graph.NodeID{initiator}, threshold, opts...)
+}
+
+// RunMulti is the multiple-initiator extension mentioned in §5: each
+// initiator roots its own execution tree and holds its own budget of
+// `threshold` permits, so total consumption never exceeds
+// len(initiators)·threshold.
+func RunMulti(g *graph.Graph, inner []sim.Process, initiators []graph.NodeID, threshold int64, opts ...sim.Option) (*Result, []*Proc, error) {
+	if len(inner) != g.N() {
+		return nil, nil, fmt.Errorf("control: %d processes for %d vertices", len(inner), g.N())
+	}
+	if len(initiators) == 0 {
+		return nil, nil, fmt.Errorf("control: need at least one initiator")
+	}
+	procs := make([]sim.Process, g.N())
+	ctl := make([]*Proc, g.N())
+	for v := range procs {
+		ctl[v] = &Proc{Inner: inner[v]}
+		procs[v] = ctl[v]
+	}
+	for _, init := range initiators {
+		if init < 0 || int(init) >= g.N() {
+			return nil, nil, fmt.Errorf("control: initiator %d out of range", init)
+		}
+		ctl[init].IsInitiator = true
+		ctl[init].Budget = threshold
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{
+		Stats:       stats,
+		ControlComm: stats.CommOf(sim.ClassControl),
+	}
+	for _, c := range ctl {
+		res.Consumed += c.Consumed
+		if c.Exhausted {
+			res.Exhausted = true
+		}
+	}
+	return res, ctl, nil
+}

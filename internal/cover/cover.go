@@ -1,0 +1,286 @@
+// Package cover implements the sparse-cover machinery the paper imports
+// from [AP91] ("Routing with polynomial communication-space trade-off")
+// and [AP90b] ("Sparse partitions"):
+//
+//   - cluster and cover primitives (§1.2 of the paper),
+//   - the cover-coarsening algorithm of Theorem 1.1,
+//   - the tree edge-cover of Definition 3.1 / Lemma 3.2 used by clock
+//     synchronizer γ*,
+//   - the cluster partition used by network synchronizer γ [Awe85a].
+package cover
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"costsense/internal/graph"
+)
+
+// Cluster is a set of vertices S such that G(S) is connected.
+type Cluster []graph.NodeID
+
+// contains reports membership; clusters are small, so a linear scan is
+// used at call sites that do not hold an index.
+func (c Cluster) contains(v graph.NodeID) bool {
+	for _, u := range c {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize sorts and deduplicates the cluster in place.
+func (c Cluster) normalize() Cluster {
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:0]
+	var last graph.NodeID = -1
+	for _, v := range c {
+		if v != last {
+			out = append(out, v)
+		}
+		last = v
+	}
+	return out
+}
+
+// Radius returns Rad(S) = min_{v∈S} Rad(v, G(S)), the radius of the
+// subgraph induced by the cluster, together with a center vertex
+// realizing it. It returns (-1, -1) if G(S) is disconnected (not a legal
+// cluster).
+func (c Cluster) Radius(g *graph.Graph) (int64, graph.NodeID) {
+	sub, orig := g.InducedSubgraph(c)
+	r, center := graph.Radius(sub)
+	if r == graph.Unreachable {
+		return -1, -1
+	}
+	return r, orig[center]
+}
+
+// IsCluster reports whether G(S) is connected and S is nonempty.
+func (c Cluster) IsCluster(g *graph.Graph) bool {
+	if len(c) == 0 {
+		return false
+	}
+	sub, _ := g.InducedSubgraph(c)
+	return sub.Connected()
+}
+
+// Cover is a collection of clusters whose union is V.
+type Cover []Cluster
+
+// IsCover reports whether the union of the clusters is all of V.
+func (s Cover) IsCover(n int) bool {
+	seen := make([]bool, n)
+	for _, c := range s {
+		for _, v := range c {
+			if int(v) >= n {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	for _, ok := range seen {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Radius returns Rad(S) = max_i Rad(S_i).
+func (s Cover) Radius(g *graph.Graph) int64 {
+	var m int64
+	for _, c := range s {
+		r, _ := c.Radius(g)
+		if r < 0 {
+			return -1
+		}
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// MaxDegree returns Δ(S) = max_v deg_S(v), the maximum number of
+// clusters any vertex occurs in.
+func (s Cover) MaxDegree(n int) int {
+	deg := make([]int, n)
+	m := 0
+	for _, c := range s {
+		for _, v := range c {
+			deg[v]++
+			if deg[v] > m {
+				m = deg[v]
+			}
+		}
+	}
+	return m
+}
+
+// Subsumes reports whether for every S_i in s there is a T_j in t with
+// S_i ⊆ T_j.
+func Subsumes(t, s Cover, n int) bool {
+	// Index t's clusters per vertex to avoid quadratic blowup.
+	in := make([][]int, n)
+	for j, c := range t {
+		for _, v := range c {
+			in[v] = append(in[v], j)
+		}
+	}
+	for _, si := range s {
+		if len(si) == 0 {
+			continue
+		}
+		found := false
+		for _, j := range in[si[0]] {
+			if clusterContainsAll(t[j], si) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func clusterContainsAll(big, small Cluster) bool {
+	set := make(map[graph.NodeID]bool, len(big))
+	for _, v := range big {
+		set[v] = true
+	}
+	for _, v := range small {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coarsen implements Theorem 1.1 [AP91]: given a graph G, an initial
+// cover S and an integer k >= 1, it constructs a cover T such that
+//
+//	(1) T subsumes S,
+//	(2) Rad(T) <= (2k+1)·Rad(S)   (the paper states 2k−1; the classical
+//	    merging argument yields 2k+1 with Rad(S) measured on induced
+//	    subgraphs, which is what the downstream bounds need), and
+//	(3) Δ(T) = O(k·|S|^{1/k}).
+//
+// The construction is the Awerbuch–Peleg coalescing procedure: repeatedly
+// grow a kernel of clusters by swallowing every remaining cluster that
+// intersects it, stopping as soon as one growth step multiplies the
+// kernel by less than |S|^{1/k}; the swallowed kernel is removed and its
+// union (including the final fringe) becomes an output cluster.
+func Coarsen(g *graph.Graph, s Cover, k int) Cover {
+	if k < 1 {
+		panic(fmt.Sprintf("cover: Coarsen needs k >= 1, got %d", k))
+	}
+	if len(s) == 0 {
+		return nil
+	}
+	threshold := math.Pow(float64(len(s)), 1/float64(k))
+	remaining := make(map[int]bool, len(s))
+	for i := range s {
+		remaining[i] = true
+	}
+	// memberOf[v] = indices of remaining clusters containing v.
+	memberOf := make([][]int, g.N())
+	for i, c := range s {
+		for _, v := range c {
+			memberOf[v] = append(memberOf[v], i)
+		}
+	}
+
+	var out Cover
+	for len(remaining) > 0 {
+		// Pick the lowest remaining cluster index for determinism.
+		seed := -1
+		for i := range remaining {
+			if seed < 0 || i < seed {
+				seed = i
+			}
+		}
+		z := map[int]bool{seed: true}
+		for {
+			zPrev := z
+			// Y = union of clusters in zPrev.
+			inY := make(map[graph.NodeID]bool)
+			for i := range zPrev {
+				for _, v := range s[i] {
+					inY[v] = true
+				}
+			}
+			// Z = all remaining clusters intersecting Y.
+			z = make(map[int]bool)
+			for v := range inY {
+				for _, i := range memberOf[v] {
+					if remaining[i] {
+						z[i] = true
+					}
+				}
+			}
+			if float64(len(z)) <= threshold*float64(len(zPrev)) {
+				// Output cluster: union of the final Z (superset of Y,
+				// so every removed cluster is subsumed). Remove only the
+				// kernel zPrev; the fringe Z \ zPrev stays for later
+				// stages, keeping the degree bound.
+				var y Cluster
+				for i := range z {
+					y = append(y, s[i]...)
+				}
+				out = append(out, y.normalize())
+				for i := range zPrev {
+					delete(remaining, i)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PathCover returns the initial cover S = {Path(u, v, G) : (u, v) ∈ E}
+// used by Lemma 3.2: one cluster per network edge, holding the vertices
+// of a shortest u–v path. Rad(S) <= d = MaxNeighborDist(G).
+func PathCover(g *graph.Graph) Cover {
+	sps := make([]*graph.ShortestPaths, g.N())
+	s := make(Cover, 0, g.M())
+	for _, e := range g.Edges() {
+		if sps[e.U] == nil {
+			sps[e.U] = graph.Dijkstra(g, e.U)
+		}
+		path := sps[e.U].PathTo(e.V)
+		s = append(s, Cluster(path).normalize())
+	}
+	return s
+}
+
+// SingletonCover returns the trivial cover {{v} : v ∈ V}, radius 0.
+func SingletonCover(n int) Cover {
+	s := make(Cover, n)
+	for v := 0; v < n; v++ {
+		s[v] = Cluster{graph.NodeID(v)}
+	}
+	return s
+}
+
+// BallCover returns the cover of all balls of weighted radius rho:
+// {B(v, rho) : v ∈ V}.
+func BallCover(g *graph.Graph, rho int64) Cover {
+	s := make(Cover, g.N())
+	for v := 0; v < g.N(); v++ {
+		sp := graph.Dijkstra(g, graph.NodeID(v))
+		var ball Cluster
+		for u, d := range sp.Dist {
+			if d != graph.Unreachable && d <= rho {
+				ball = append(ball, graph.NodeID(u))
+			}
+		}
+		s[v] = ball.normalize()
+	}
+	return s
+}

@@ -1,0 +1,141 @@
+package cover
+
+import (
+	"math"
+
+	"costsense/internal/graph"
+)
+
+// TreeCover is the tree edge-cover of Definition 3.1: a collection M of
+// rooted trees (given in host-graph vertex IDs) such that
+//
+//	(1) every edge of G appears in at most O(log n) trees of M,
+//	(2) the weighted depth of each tree is at most O(log n · d), where
+//	    d = MaxNeighborDist(G), and
+//	(3) for every edge (u,v) of G, at least one tree contains both u
+//	    and v.
+type TreeCover struct {
+	Trees []*graph.Tree
+	// Home[e] is the index of a tree containing both endpoints of the
+	// e-th graph edge (property 3).
+	Home []int
+}
+
+// NewTreeCover constructs a tree edge-cover following Lemma 3.2: apply
+// Theorem 1.1 to the initial cover S = {Path(u,v,G) : (u,v) ∈ E} with
+// parameter k = ceil(log2 n), then pick a shortest-path spanning tree of
+// each output cluster, rooted at the cluster's center.
+func NewTreeCover(g *graph.Graph) *TreeCover {
+	k := int(math.Ceil(math.Log2(float64(g.N()))))
+	if k < 1 {
+		k = 1
+	}
+	return NewTreeCoverK(g, k)
+}
+
+// NewTreeCoverK is NewTreeCover with an explicit coarsening parameter,
+// exposed for the experiments that sweep k.
+func NewTreeCoverK(g *graph.Graph, k int) *TreeCover {
+	s := PathCover(g)
+	t := Coarsen(g, s, k)
+
+	tc := &TreeCover{Home: make([]int, g.M())}
+	for i := range tc.Home {
+		tc.Home[i] = -1
+	}
+	for idx, c := range t {
+		sub, orig := g.InducedSubgraph(c)
+		_, center := graph.Radius(sub)
+		sp := graph.Dijkstra(sub, center)
+		// Translate the SPT parent array back to host IDs.
+		parent := make([]graph.NodeID, g.N())
+		for i := range parent {
+			parent[i] = -1
+		}
+		for v := range sp.Parent {
+			if sp.Parent[v] >= 0 {
+				parent[orig[v]] = orig[sp.Parent[v]]
+			}
+		}
+		tree := graph.NewTree(g, orig[center], parent)
+		tc.Trees = append(tc.Trees, tree)
+		// Record this tree as home for every graph edge it covers.
+		for eid, e := range g.Edges() {
+			if tc.Home[eid] < 0 && tree.Contains(e.U) && tree.Contains(e.V) {
+				tc.Home[eid] = idx
+			}
+		}
+		_ = idx
+	}
+	return tc
+}
+
+// MaxEdgeLoad returns the maximum, over graph edges, of the number of
+// trees using that edge as a tree edge (property 1 of Def 3.1).
+func (tc *TreeCover) MaxEdgeLoad(g *graph.Graph) int {
+	load := make(map[[2]graph.NodeID]int)
+	for _, t := range tc.Trees {
+		for _, e := range t.Edges() {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			load[[2]graph.NodeID{u, v}]++
+		}
+	}
+	m := 0
+	for _, c := range load {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// MaxVertexLoad returns the maximum number of trees any vertex belongs
+// to. Message congestion at a vertex during γ* is proportional to it.
+func (tc *TreeCover) MaxVertexLoad(n int) int {
+	deg := make([]int, n)
+	m := 0
+	for _, t := range tc.Trees {
+		for _, v := range t.Members() {
+			deg[v]++
+			if deg[v] > m {
+				m = deg[v]
+			}
+		}
+	}
+	return m
+}
+
+// MaxDepth returns the maximum weighted tree depth (property 2).
+func (tc *TreeCover) MaxDepth() int64 {
+	var m int64
+	for _, t := range tc.Trees {
+		if h := t.Height(); h > m {
+			m = h
+		}
+	}
+	return m
+}
+
+// CoversAllEdges reports property 3: every graph edge has a home tree.
+func (tc *TreeCover) CoversAllEdges() bool {
+	for _, h := range tc.Home {
+		if h < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Neighboring reports whether trees i and j share at least one vertex
+// (the γ* notion of neighboring trees).
+func (tc *TreeCover) Neighboring(i, j int) bool {
+	for _, v := range tc.Trees[i].Members() {
+		if tc.Trees[j].Contains(v) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package cover
+
+import (
+	"math"
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+func checkTreeCover(t *testing.T, g *graph.Graph) *TreeCover {
+	t.Helper()
+	tc := NewTreeCover(g)
+	n := g.N()
+	logn := math.Log2(float64(n))
+	if logn < 1 {
+		logn = 1
+	}
+	// Property 3: every edge has a home tree.
+	if !tc.CoversAllEdges() {
+		t.Fatal("tree cover misses some edge")
+	}
+	for eid, e := range g.Edges() {
+		tr := tc.Trees[tc.Home[eid]]
+		if !tr.Contains(e.U) || !tr.Contains(e.V) {
+			t.Fatalf("home tree of edge %v does not contain both endpoints", e)
+		}
+	}
+	// Property 2: depth O(d log n). Constant 4 covers the 2k+1 radius
+	// slack of Coarsen.
+	d := graph.MaxNeighborDist(g)
+	if got, bound := tc.MaxDepth(), int64(4*logn)*d+1; got > bound {
+		t.Fatalf("MaxDepth = %d > 4·d·log n = %d", got, bound)
+	}
+	// Property 1: edge load O(log n); vertex load likewise.
+	if got := tc.MaxEdgeLoad(g); float64(got) > 6*logn {
+		t.Fatalf("MaxEdgeLoad = %d > 6 log n = %.1f", got, 6*logn)
+	}
+	if got := tc.MaxVertexLoad(n); float64(got) > 8*logn {
+		t.Fatalf("MaxVertexLoad = %d > 8 log n = %.1f", got, 8*logn)
+	}
+	return tc
+}
+
+func TestTreeCoverHeavyChordRing(t *testing.T) {
+	checkTreeCover(t, graph.HeavyChordRing(40, 1000))
+}
+
+func TestTreeCoverGrid(t *testing.T) {
+	checkTreeCover(t, graph.Grid(6, 6, graph.UniformWeights(10, 2)))
+}
+
+func TestTreeCoverRandom(t *testing.T) {
+	checkTreeCover(t, graph.RandomConnected(50, 120, graph.UniformWeights(30, 9), 9))
+}
+
+func TestTreeCoverNeighboring(t *testing.T) {
+	g := graph.Path(10, graph.UnitWeights())
+	tc := NewTreeCover(g)
+	// On a path, consecutive trees must overlap somewhere; sanity-check
+	// the Neighboring predicate agrees with shared membership.
+	for i := range tc.Trees {
+		for j := range tc.Trees {
+			shared := false
+			for _, v := range tc.Trees[i].Members() {
+				if tc.Trees[j].Contains(v) {
+					shared = true
+					break
+				}
+			}
+			if tc.Neighboring(i, j) != shared {
+				t.Fatalf("Neighboring(%d,%d) = %v, membership says %v", i, j, tc.Neighboring(i, j), shared)
+			}
+		}
+	}
+}
+
+func TestTreeCoverDepthBeatsW(t *testing.T) {
+	// The point of γ*: on graphs with d << W, tree depth O(d log n)
+	// must be far below W.
+	g := graph.HeavyChordRing(64, 100000)
+	tc := NewTreeCover(g)
+	if tc.MaxDepth() >= g.MaxWeight() {
+		t.Fatalf("tree cover depth %d should be << W = %d", tc.MaxDepth(), g.MaxWeight())
+	}
+}

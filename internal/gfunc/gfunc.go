@@ -1,0 +1,205 @@
+// Package gfunc computes global symmetric compact functions (§1.4.1)
+// over an asynchronous weighted network: the n inputs sit one per
+// vertex, and the output must be produced at every vertex.
+//
+// A symmetric compact function [GS86] is determined by a combiner
+// g : X² → X with f_n(x_1..x_n) = g(f_k(x_1..x_k), f_{n-k}(x_{k+1}..x_n));
+// maximum, sum and the basic boolean functions all qualify. Broadcast
+// and termination detection are special cases.
+//
+// Given any rooted spanning tree T the computation is one convergecast
+// plus one broadcast: communication 2·w(T) and time 2·depth(T). Run on
+// a shallow-light tree this achieves the optimal O(𝓥) communication
+// and O(𝓓) time of Corollary 2.3, matching the Ω(𝓥)/Ω(𝓓) lower bound
+// of Theorem 2.1.
+package gfunc
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+	"costsense/internal/slt"
+)
+
+// Function is a symmetric compact function given by its combiner. The
+// combiner must be associative and commutative.
+type Function struct {
+	Name    string
+	Combine func(a, b int64) int64
+}
+
+// The standard symmetric compact functions of §1.4.1.
+var (
+	Sum = Function{Name: "sum", Combine: func(a, b int64) int64 { return a + b }}
+	Max = Function{Name: "max", Combine: func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+	Min = Function{Name: "min", Combine: func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+	Xor = Function{Name: "xor", Combine: func(a, b int64) int64 { return a ^ b }}
+	And = Function{Name: "and", Combine: func(a, b int64) int64 { return a & b }}
+	Or  = Function{Name: "or", Combine: func(a, b int64) int64 { return a | b }}
+)
+
+// Messages of the two-phase tree computation.
+type (
+	// MsgUp carries a subtree partial result toward the root.
+	MsgUp struct{ Partial int64 }
+	// MsgDown carries the final value toward the leaves.
+	MsgDown struct{ Value int64 }
+)
+
+// Proc is the per-node process: convergecast partials up the tree, then
+// broadcast the result down.
+type Proc struct {
+	F     Function
+	Input int64
+	// Tree wiring for this node.
+	Parent   graph.NodeID
+	Children []graph.NodeID
+
+	// Output is the computed global value, set at every node.
+	Output int64
+	// Ready reports whether Output was produced.
+	Ready bool
+	// DoneAt is the time Output was produced.
+	DoneAt int64
+
+	acc     int64
+	waiting int
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// Init seeds the accumulator; leaves report immediately.
+func (p *Proc) Init(ctx sim.Context) {
+	p.acc = p.Input
+	p.waiting = len(p.Children)
+	if p.waiting == 0 {
+		p.complete(ctx)
+	}
+}
+
+func (p *Proc) complete(ctx sim.Context) {
+	if p.Parent < 0 {
+		// Root: the global value is ready; broadcast it.
+		p.Output = p.acc
+		p.Ready = true
+		p.DoneAt = ctx.Now()
+		ctx.Record("output", p.Output)
+		for _, c := range p.Children {
+			ctx.Send(c, MsgDown{Value: p.Output})
+		}
+		return
+	}
+	ctx.Send(p.Parent, MsgUp{Partial: p.acc})
+}
+
+// Handle merges child partials and forwards the final broadcast.
+func (p *Proc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgUp:
+		p.acc = p.F.Combine(p.acc, msg.Partial)
+		p.waiting--
+		if p.waiting == 0 {
+			p.complete(ctx)
+		}
+	case MsgDown:
+		p.Output = msg.Value
+		p.Ready = true
+		p.DoneAt = ctx.Now()
+		ctx.Record("output", p.Output)
+		for _, c := range p.Children {
+			ctx.Send(c, MsgDown{Value: p.Output})
+		}
+	default:
+		panic(fmt.Sprintf("gfunc: unexpected message %T", m))
+	}
+}
+
+// Result of a global function computation.
+type Result struct {
+	// Value is the global function value.
+	Value int64
+	// Outputs holds the value produced at each vertex (all equal).
+	Outputs []int64
+	Stats   *sim.Stats
+}
+
+// Compute evaluates f over the inputs using the given rooted spanning
+// tree of g.
+func Compute(g *graph.Graph, tree *graph.Tree, inputs []int64, f Function, opts ...sim.Option) (*Result, error) {
+	if len(inputs) != g.N() {
+		return nil, fmt.Errorf("gfunc: %d inputs for %d vertices", len(inputs), g.N())
+	}
+	if !tree.Spanning() {
+		return nil, fmt.Errorf("gfunc: tree does not span the graph")
+	}
+	procs := make([]sim.Process, g.N())
+	nodes := make([]*Proc, g.N())
+	for v := range procs {
+		nodes[v] = &Proc{
+			F:        f,
+			Input:    inputs[v],
+			Parent:   tree.Parent[v],
+			Children: tree.Children(graph.NodeID(v)),
+		}
+		procs[v] = nodes[v]
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Outputs: make([]int64, g.N()), Stats: stats}
+	for v, p := range nodes {
+		if !p.Ready {
+			return nil, fmt.Errorf("gfunc: vertex %d produced no output", v)
+		}
+		res.Outputs[v] = p.Output
+	}
+	res.Value = res.Outputs[tree.Root]
+	return res, nil
+}
+
+// ComputeViaSLT builds a shallow-light tree rooted at v0 with trade-off
+// q and evaluates f over it — the optimal scheme of Corollary 2.3.
+func ComputeViaSLT(g *graph.Graph, v0 graph.NodeID, q int64, inputs []int64, f Function, opts ...sim.Option) (*Result, *graph.Tree, error) {
+	tree, _, err := slt.Build(g, v0, q)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Compute(g, tree, inputs, f, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tree, nil
+}
+
+// Broadcast disseminates the root's value to all vertices over the
+// tree (a special case of a symmetric compact computation: f = "the
+// root's input", realized by a one-phase downcast). It returns the
+// stats of the downcast.
+func Broadcast(g *graph.Graph, tree *graph.Tree, value int64, opts ...sim.Option) (*Result, error) {
+	inputs := make([]int64, g.N())
+	for v := range inputs {
+		inputs[v] = value // any symmetric function of equal inputs is that value
+	}
+	return Compute(g, tree, inputs, Max, opts...)
+}
+
+// Fold is the centralized reference: combine all inputs directly.
+func Fold(inputs []int64, f Function) int64 {
+	acc := inputs[0]
+	for _, x := range inputs[1:] {
+		acc = f.Combine(acc, x)
+	}
+	return acc
+}

@@ -1,0 +1,162 @@
+package graph
+
+import "container/heap"
+
+// Unreachable is the distance reported for vertices not connected to the
+// source.
+const Unreachable = int64(-1)
+
+// ShortestPaths holds the result of a single-source shortest path
+// computation: weighted distances and a shortest-path-tree parent array.
+type ShortestPaths struct {
+	Source NodeID
+	Dist   []int64  // Dist[v] = dist(source, v, G); Unreachable if none
+	Parent []NodeID // Parent[v] on a shortest path; -1 for source/unreachable
+}
+
+type dijkItem struct {
+	v    NodeID
+	dist int64
+}
+
+type dijkHeap []dijkItem
+
+func (h dijkHeap) Len() int      { return len(h) }
+func (h dijkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h dijkHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].v < h[j].v
+}
+func (h *dijkHeap) Push(x any) { *h = append(*h, x.(dijkItem)) }
+func (h *dijkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from s.
+func Dijkstra(g *Graph, s NodeID) *ShortestPaths {
+	n := g.N()
+	sp := &ShortestPaths{
+		Source: s,
+		Dist:   make([]int64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = Unreachable
+		sp.Parent[i] = -1
+	}
+	sp.Dist[s] = 0
+	h := &dijkHeap{{v: s, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkItem)
+		if it.dist != sp.Dist[it.v] {
+			continue // stale entry
+		}
+		for _, e := range g.Adj(it.v) {
+			nd := it.dist + e.W
+			if sp.Dist[e.To] == Unreachable || nd < sp.Dist[e.To] {
+				sp.Dist[e.To] = nd
+				sp.Parent[e.To] = it.v
+				heap.Push(h, dijkItem{v: e.To, dist: nd})
+			}
+		}
+	}
+	return sp
+}
+
+// PathTo returns the vertices of a shortest path from the source to v,
+// inclusive, or nil when v is unreachable.
+func (sp *ShortestPaths) PathTo(v NodeID) []NodeID {
+	if sp.Dist[v] == Unreachable {
+		return nil
+	}
+	var rev []NodeID
+	for x := v; x != -1; x = sp.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Tree extracts the shortest path tree rooted at the source.
+func (sp *ShortestPaths) Tree(g *Graph) *Tree {
+	return NewTree(g, sp.Source, sp.Parent)
+}
+
+// Dist returns dist(u, v, G), or Unreachable.
+func Dist(g *Graph, u, v NodeID) int64 {
+	return Dijkstra(g, u).Dist[v]
+}
+
+// Eccentricity returns Rad(v, G) = max_u dist(v, u, G). It returns
+// Unreachable when the graph is disconnected.
+func Eccentricity(g *Graph, v NodeID) int64 {
+	sp := Dijkstra(g, v)
+	var m int64
+	for _, d := range sp.Dist {
+		if d == Unreachable {
+			return Unreachable
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Diameter returns 𝓓 = Diam(G) = max_{u,v} dist(u, v, G), the maximal
+// cost of transmitting a message between a pair of nodes. It returns
+// Unreachable when the graph is disconnected. O(n · (m log n)).
+func Diameter(g *Graph) int64 {
+	var m int64
+	for v := 0; v < g.N(); v++ {
+		ecc := Eccentricity(g, NodeID(v))
+		if ecc == Unreachable {
+			return Unreachable
+		}
+		if ecc > m {
+			m = ecc
+		}
+	}
+	return m
+}
+
+// Radius returns min_v Rad(v, G) and a vertex achieving it (a center).
+// It returns (Unreachable, -1) when the graph is disconnected.
+func Radius(g *Graph) (int64, NodeID) {
+	best := Unreachable
+	var center NodeID = -1
+	for v := 0; v < g.N(); v++ {
+		ecc := Eccentricity(g, NodeID(v))
+		if ecc == Unreachable {
+			return Unreachable, -1
+		}
+		if best == Unreachable || ecc < best {
+			best, center = ecc, NodeID(v)
+		}
+	}
+	return best, center
+}
+
+// MaxNeighborDist returns d = max_{(u,v) ∈ E} dist(u, v, G), the largest
+// weighted distance between network neighbors (§1.4.2). Note d <= W, and
+// clock synchronization is interesting exactly when d << W.
+func MaxNeighborDist(g *Graph) int64 {
+	var m int64
+	for v := 0; v < g.N(); v++ {
+		sp := Dijkstra(g, NodeID(v))
+		for _, h := range g.Adj(NodeID(v)) {
+			if d := sp.Dist[h.To]; d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package graph
+
+import "fmt"
+
+// Expansion is the "unweighted version" Ĝ_b of a weighted graph used
+// by the §9.2 reduction: every edge e of weight w(e) is replaced by a
+// path of w(e) unit edges through w(e)-1 fresh dummy vertices, so that
+// hop distances in the expansion equal weighted distances in the
+// original, and a BFS on the expansion is an SPT computation on G.
+type Expansion struct {
+	// G is the expanded unit-weight graph. Vertices 0..n-1 are the
+	// original vertices; the rest are dummies.
+	G *Graph
+	// Original is the number of original (non-dummy) vertices.
+	Original int
+	// Host maps every expansion vertex to the original edge it
+	// subdivides (-1 for original vertices).
+	Host []EdgeID
+}
+
+// Expand builds the unit-edge expansion of g. The expansion has
+// n + Σ(w(e)-1) vertices, so it is only practical for moderate total
+// weight; it exists to make the §9.2 reduction executable and testable
+// (the production SPTrecur simulates it implicitly).
+func Expand(g *Graph) (*Expansion, error) {
+	extra := int64(0)
+	for _, e := range g.Edges() {
+		extra += e.W - 1
+	}
+	total := int64(g.N()) + extra
+	const maxVertices = 10_000_000
+	if total > maxVertices {
+		return nil, fmt.Errorf("graph: expansion needs %d vertices (max %d)", total, maxVertices)
+	}
+	b := NewBuilder(int(total))
+	host := make([]EdgeID, total)
+	for v := 0; v < g.N(); v++ {
+		host[v] = -1
+	}
+	next := NodeID(g.N())
+	for id, e := range g.Edges() {
+		prev := e.U
+		for step := int64(1); step < e.W; step++ {
+			host[next] = EdgeID(id)
+			b.AddEdge(prev, next, 1)
+			prev = next
+			next++
+		}
+		b.AddEdge(prev, e.V, 1)
+	}
+	eg, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Expansion{G: eg, Original: g.N(), Host: host}, nil
+}
+
+// IsDummy reports whether an expansion vertex is a subdivision point.
+func (x *Expansion) IsDummy(v NodeID) bool { return int(v) >= x.Original }
+
+// BFS computes hop distances from s with a queue; on an expansion these
+// equal the weighted distances of the original graph.
+func BFS(g *Graph, s NodeID) []int64 {
+	dist := make([]int64, g.N())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	queue := []NodeID{s}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, h := range g.Adj(v) {
+			if dist[h.To] == Unreachable {
+				dist[h.To] = dist[v] + 1
+				queue = append(queue, h.To)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		build   func(*Builder)
+		wantErr error
+	}{
+		{"vertex out of range", func(b *Builder) { b.AddEdge(0, 5, 1) }, ErrVertexRange},
+		{"negative vertex", func(b *Builder) { b.AddEdge(-1, 0, 1) }, ErrVertexRange},
+		{"self loop", func(b *Builder) { b.AddEdge(2, 2, 1) }, ErrSelfLoop},
+		{"zero weight", func(b *Builder) { b.AddEdge(0, 1, 0) }, ErrWeightRange},
+		{"negative weight", func(b *Builder) { b.AddEdge(0, 1, -3) }, ErrWeightRange},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := NewBuilder(3)
+			tt.build(b)
+			if _, err := b.Build(); !errors.Is(err, tt.wantErr) {
+				t.Fatalf("Build() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 9, 1) // bad
+	b.AddEdge(0, 1, 1) // good, but must be ignored after the error
+	if _, err := b.Build(); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("Build() error = %v, want ErrVertexRange", err)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 7)
+	b.AddEdge(2, 3, 2)
+	b.AddEdge(0, 3, 10)
+	g := b.MustBuild()
+
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N, M = %d, %d; want 4, 4", g.N(), g.M())
+	}
+	if got := g.TotalWeight(); got != 24 {
+		t.Errorf("TotalWeight = %d, want 24", got)
+	}
+	if got := g.MaxWeight(); got != 10 {
+		t.Errorf("MaxWeight = %d, want 10", got)
+	}
+	if w := g.Weight(1, 2); w != 7 {
+		t.Errorf("Weight(1,2) = %d, want 7", w)
+	}
+	if w := g.Weight(0, 2); w != -1 {
+		t.Errorf("Weight(0,2) = %d, want -1 (absent)", w)
+	}
+	if !g.HasEdge(3, 2) || g.HasEdge(1, 3) {
+		t.Errorf("HasEdge mismatch")
+	}
+	if d := g.Degree(0); d != 2 {
+		t.Errorf("Degree(0) = %d, want 2", d)
+	}
+	if !g.Connected() {
+		t.Error("graph should be connected")
+	}
+}
+
+func TestParallelEdgesWeightPicksLightest(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 9)
+	b.AddEdge(0, 1, 4)
+	g := b.MustBuild()
+	if w := g.Weight(0, 1); w != 4 {
+		t.Fatalf("Weight(0,1) = %d, want 4", w)
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.MustBuild()
+	if g.Connected() {
+		t.Error("graph with isolated vertex 2 reported connected")
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("Components() returned %d components, want 3", len(comps))
+	}
+	want := [][]NodeID{{0, 1}, {2}, {3, 4}}
+	for i, c := range comps {
+		if len(c) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, c, want[i])
+		}
+		for j := range c {
+			if c[j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, c, want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	empty := NewBuilder(0).MustBuild()
+	if !empty.Connected() || empty.TotalWeight() != 0 {
+		t.Error("empty graph should be connected with weight 0")
+	}
+	single := NewBuilder(1).MustBuild()
+	if !single.Connected() {
+		t.Error("singleton graph should be connected")
+	}
+	if d := Diameter(single); d != 0 {
+		t.Errorf("Diameter(singleton) = %d, want 0", d)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := Ring(6, UnitWeights())
+	sub := g.Subgraph(func(e Edge) bool { return e.U != 0 && e.V != 0 })
+	if sub.N() != 6 {
+		t.Fatalf("Subgraph changed vertex count: %d", sub.N())
+	}
+	if sub.M() != 4 {
+		t.Fatalf("Subgraph has %d edges, want 4", sub.M())
+	}
+	if sub.Connected() {
+		t.Error("ring minus vertex-0 edges should be disconnected")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Complete(5, UnitWeights())
+	sub, orig := g.InducedSubgraph([]NodeID{1, 3, 4})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("induced K3: n=%d m=%d, want 3, 3", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[1] != 3 || orig[2] != 4 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+}
+
+func TestAdjacencyConsistency(t *testing.T) {
+	g := RandomConnected(40, 100, UniformWeights(50, 7), 7)
+	// Every half-edge must appear symmetrically with the same weight/ID.
+	for v := 0; v < g.N(); v++ {
+		for _, h := range g.Adj(NodeID(v)) {
+			found := false
+			for _, back := range g.Adj(h.To) {
+				if back.ID == h.ID {
+					if back.To != NodeID(v) || back.W != h.W {
+						t.Fatalf("asymmetric half edge %v vs %v", h, back)
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %v has no reverse half", h)
+			}
+		}
+	}
+	// Sum of degrees = 2m.
+	deg := 0
+	for v := 0; v < g.N(); v++ {
+		deg += g.Degree(NodeID(v))
+	}
+	if deg != 2*g.M() {
+		t.Fatalf("sum of degrees %d != 2m %d", deg, 2*g.M())
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// DSU is a union-find structure with path compression and union by rank.
+type DSU struct {
+	parent []int
+	rank   []byte
+}
+
+// NewDSU returns a DSU over n elements.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]int, n), rank: make([]byte, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+// Find returns the representative of x.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y and reports whether they were distinct.
+func (d *DSU) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	return true
+}
+
+// Kruskal computes a minimum spanning tree (forest, when disconnected)
+// and returns its edges. Ties are broken by edge ID, making the result
+// deterministic.
+func Kruskal(g *Graph) []Edge {
+	edges := make([]Edge, len(g.Edges()))
+	copy(edges, g.Edges())
+	ids := make([]int, len(edges))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ea, eb := edges[ids[a]], edges[ids[b]]
+		if ea.W != eb.W {
+			return ea.W < eb.W
+		}
+		return ids[a] < ids[b]
+	})
+	dsu := NewDSU(g.N())
+	var out []Edge
+	for _, i := range ids {
+		e := edges[i]
+		if dsu.Union(int(e.U), int(e.V)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MSTWeight returns 𝓥 = w(MST(G)), the minimum cost of disseminating a
+// message to all vertices. It returns -1 when the graph is disconnected.
+func MSTWeight(g *Graph) int64 {
+	es := Kruskal(g)
+	if len(es) != g.N()-1 && g.N() > 1 {
+		return -1
+	}
+	var s int64
+	for _, e := range es {
+		s += e.W
+	}
+	return s
+}
+
+type primItem struct {
+	v    NodeID
+	from NodeID
+	w    int64
+}
+
+type primHeap []primItem
+
+func (h primHeap) Len() int      { return len(h) }
+func (h primHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h primHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].v < h[j].v
+}
+func (h *primHeap) Push(x any) { *h = append(*h, x.(primItem)) }
+func (h *primHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PrimTree computes a minimum spanning tree rooted at root. Only the
+// component of root is spanned. This is the centralized counterpart of
+// Algorithm MSTcentr (§6.3).
+func PrimTree(g *Graph, root NodeID) *Tree {
+	n := g.N()
+	parent := make([]NodeID, n)
+	inTree := make([]bool, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	h := &primHeap{}
+	add := func(v NodeID) {
+		inTree[v] = true
+		for _, e := range g.Adj(v) {
+			if !inTree[e.To] {
+				heap.Push(h, primItem{v: e.To, from: v, w: e.W})
+			}
+		}
+	}
+	add(root)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(primItem)
+		if inTree[it.v] {
+			continue
+		}
+		parent[it.v] = it.from
+		add(it.v)
+	}
+	return NewTree(g, root, parent)
+}
+
+// MSTSubgraph returns the graph consisting of the MST edges only.
+func MSTSubgraph(g *Graph) *Graph {
+	keep := make(map[Edge]bool)
+	for _, e := range Kruskal(g) {
+		keep[e] = true
+	}
+	b := NewBuilder(g.N())
+	used := make(map[Edge]bool)
+	for _, e := range g.Edges() {
+		if keep[e] && !used[e] {
+			b.AddEdge(e.U, e.V, e.W)
+			used[e] = true
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,214 @@
+package graph
+
+import "fmt"
+
+// Tree is a rooted spanning structure over (a subset of) the vertices of
+// a host graph, represented by a parent array. Weights of tree edges are
+// taken from the host graph's metric (the weight used to build the tree),
+// stored explicitly so a Tree remains valid independent of its host.
+type Tree struct {
+	Root     NodeID
+	Parent   []NodeID // Parent[v] = -1 for the root and for non-members
+	WUp      []int64  // WUp[v] = weight of edge (v, Parent[v])
+	member   []bool
+	children [][]NodeID
+}
+
+// NewTree builds a Tree from a parent array over g. Vertices with
+// parent -1 other than the root are treated as non-members. Weights are
+// looked up in g; a missing edge weight panics, since it indicates a bug
+// in the tree construction.
+func NewTree(g *Graph, root NodeID, parent []NodeID) *Tree {
+	n := len(parent)
+	t := &Tree{
+		Root:     root,
+		Parent:   make([]NodeID, n),
+		WUp:      make([]int64, n),
+		member:   make([]bool, n),
+		children: make([][]NodeID, n),
+	}
+	copy(t.Parent, parent)
+	t.member[root] = true
+	for v := 0; v < n; v++ {
+		p := parent[v]
+		if NodeID(v) == root || p < 0 {
+			continue
+		}
+		w := g.Weight(NodeID(v), p)
+		if w < 0 {
+			panic(fmt.Sprintf("graph: tree edge (%d,%d) not in host graph", v, p))
+		}
+		t.WUp[v] = w
+		t.member[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if t.member[v] && NodeID(v) != root {
+			t.children[parent[v]] = append(t.children[parent[v]], NodeID(v))
+		}
+	}
+	return t
+}
+
+// N returns the size of the parent array (host graph order).
+func (t *Tree) N() int { return len(t.Parent) }
+
+// Contains reports whether v is a member of the tree.
+func (t *Tree) Contains(v NodeID) bool { return t.member[v] }
+
+// Size returns the number of member vertices.
+func (t *Tree) Size() int {
+	c := 0
+	for _, m := range t.member {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+// Children returns the children of v. The caller must not modify it.
+func (t *Tree) Children(v NodeID) []NodeID { return t.children[v] }
+
+// Weight returns w(T), the total weight of the tree edges.
+func (t *Tree) Weight() int64 {
+	var s int64
+	for v := range t.Parent {
+		if t.member[v] && NodeID(v) != t.Root {
+			s += t.WUp[v]
+		}
+	}
+	return s
+}
+
+// Depths returns the weighted depth of every member vertex (distance to
+// the root along tree edges); non-members get -1.
+func (t *Tree) Depths() []int64 {
+	d := make([]int64, len(t.Parent))
+	for i := range d {
+		d[i] = -1
+	}
+	d[t.Root] = 0
+	var rec func(v NodeID)
+	rec = func(v NodeID) {
+		for _, c := range t.children[v] {
+			d[c] = d[v] + t.WUp[c]
+			rec(c)
+		}
+	}
+	rec(t.Root)
+	return d
+}
+
+// Height returns the maximum weighted depth of any member vertex.
+func (t *Tree) Height() int64 {
+	var m int64
+	for _, d := range t.Depths() {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Diam returns the weighted diameter of the tree (longest path between
+// two members along tree edges).
+func (t *Tree) Diam() int64 {
+	// Standard two-pass: deepest path through each vertex.
+	var best int64
+	// down[v] = deepest downward weighted distance from v.
+	down := make([]int64, len(t.Parent))
+	var rec func(v NodeID) int64
+	rec = func(v NodeID) int64 {
+		var top1, top2 int64 // two deepest child branches
+		for _, c := range t.children[v] {
+			d := rec(c) + t.WUp[c]
+			if d > top1 {
+				top1, top2 = d, top1
+			} else if d > top2 {
+				top2 = d
+			}
+		}
+		if top1+top2 > best {
+			best = top1 + top2
+		}
+		down[v] = top1
+		return top1
+	}
+	rec(t.Root)
+	return best
+}
+
+// Members returns the member vertices in increasing order.
+func (t *Tree) Members() []NodeID {
+	var vs []NodeID
+	for v := range t.member {
+		if t.member[v] {
+			vs = append(vs, NodeID(v))
+		}
+	}
+	return vs
+}
+
+// Edges returns the tree edges as (child, parent, weight) triples.
+func (t *Tree) Edges() []Edge {
+	var es []Edge
+	for v := range t.Parent {
+		if t.member[v] && NodeID(v) != t.Root {
+			es = append(es, Edge{U: NodeID(v), V: t.Parent[v], W: t.WUp[v]})
+		}
+	}
+	return es
+}
+
+// Spanning reports whether the tree spans all n vertices of its host.
+func (t *Tree) Spanning() bool {
+	return t.Size() == len(t.Parent)
+}
+
+// EulerTour returns the depth-first tour of the tree starting and ending
+// at the root: the sequence v(0), v(1), ..., v(2s-2) of vertices visited
+// by a DFS token, where s is the tree size. Each tree edge is traversed
+// exactly twice (§2.2 step 2 of the SLT algorithm). Children are visited
+// in insertion order, making the tour deterministic.
+func (t *Tree) EulerTour() []NodeID {
+	tour := []NodeID{t.Root}
+	var rec func(v NodeID)
+	rec = func(v NodeID) {
+		for _, c := range t.children[v] {
+			tour = append(tour, c)
+			rec(c)
+			tour = append(tour, v)
+		}
+	}
+	rec(t.Root)
+	return tour
+}
+
+// PathToRoot returns the vertices from v up to the root, inclusive.
+func (t *Tree) PathToRoot(v NodeID) []NodeID {
+	var p []NodeID
+	for x := v; ; x = t.Parent[x] {
+		p = append(p, x)
+		if x == t.Root {
+			return p
+		}
+	}
+}
+
+// TreeDist returns the weighted distance between two members along tree
+// edges (the paper's Path(x, y, T) length).
+func (t *Tree) TreeDist(x, y NodeID) int64 {
+	depth := t.Depths()
+	// Walk both up to their lowest common ancestor.
+	var d int64
+	for x != y {
+		if depth[x] >= depth[y] && x != t.Root {
+			d += t.WUp[x]
+			x = t.Parent[x]
+		} else {
+			d += t.WUp[y]
+			y = t.Parent[y]
+		}
+	}
+	return d
+}

@@ -1,0 +1,252 @@
+package mst
+
+import (
+	"fmt"
+
+	"costsense/internal/basic"
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// MSThybrid (§8.2) runs two sides under root arbitration, as in §7.2:
+//
+//	side A: algorithm DFS as a controlled wake-up stage — suspendable
+//	        at the root with doubling estimate W_a ≈ 𝓔 — followed by
+//	        algorithm MSTghs once the wake-up completes;
+//	side B: algorithm MSTcentr, suspendable per phase with estimate W_b.
+//
+// Only the side with the smaller estimate runs. If n𝓥 < 𝓔 the DFS is
+// parked early and MSTcentr finishes at O(n𝓥); otherwise the wake-up
+// completes at cost O(𝓔) and GHS finishes at O(𝓔 + 𝓥 log n), while
+// MSTcentr has spent at most O(W_a) = O(𝓔). Either way the total is
+// O(min{𝓔 + 𝓥 log n, n𝓥}).
+
+// hybrid algorithm tags.
+const (
+	tagDFS byte = 'd'
+	tagGHS byte = 'g'
+	tagMST byte = 'm'
+)
+
+// HybridMsg wraps a sub-algorithm message.
+type HybridMsg struct {
+	Tag   byte
+	Inner sim.Message
+}
+
+// msgGHSGo floods the start-GHS signal after the wake-up completes.
+type msgGHSGo struct{}
+
+type tagPort struct {
+	ctx sim.Context
+	tag byte
+}
+
+var _ basic.Port = tagPort{}
+
+func (p tagPort) ID() graph.NodeID        { return p.ctx.ID() }
+func (p tagPort) Neighbors() []graph.Half { return p.ctx.Neighbors() }
+func (p tagPort) Send(to graph.NodeID, m sim.Message) {
+	p.ctx.Send(to, HybridMsg{Tag: p.tag, Inner: m})
+}
+
+// hybridArbiter holds the root's permit state.
+type hybridArbiter struct {
+	wa, wb    int64
+	dfsParked func(basic.Port)
+	mstParked func(basic.Port)
+	mst       *basic.CentrCore
+	mstOn     bool
+	ctx       sim.Context
+}
+
+func (a *hybridArbiter) permitA() bool { return a.wa <= a.wb }
+
+func (a *hybridArbiter) activateMST() {
+	port := tagPort{ctx: a.ctx, tag: tagMST}
+	if !a.mstOn {
+		a.mstOn = true
+		a.mst.Start(port)
+		return
+	}
+	if a.mstParked != nil {
+		r := a.mstParked
+		a.mstParked = nil
+		r(port)
+	}
+}
+
+func (a *hybridArbiter) activateDFS() {
+	if a.dfsParked != nil {
+		r := a.dfsParked
+		a.dfsParked = nil
+		r(tagPort{ctx: a.ctx, tag: tagDFS})
+	}
+}
+
+type hDFSGate struct{ a *hybridArbiter }
+
+func (g hDFSGate) Report(est int64, resume func(basic.Port)) bool {
+	g.a.wa = est
+	if g.a.permitA() {
+		return true
+	}
+	g.a.dfsParked = resume
+	g.a.activateMST()
+	return false
+}
+
+type hMSTGate struct{ a *hybridArbiter }
+
+func (g hMSTGate) Report(est int64, resume func(basic.Port)) bool {
+	g.a.wb = est
+	if !g.a.permitA() {
+		return true
+	}
+	g.a.mstParked = resume
+	g.a.activateDFS()
+	return false
+}
+
+// HybridProc runs the three cores at one node.
+type HybridProc struct {
+	DFS  *basic.DFSCore
+	GHS  *GHSCore
+	MST  *basic.CentrCore
+	Root graph.NodeID
+
+	arb      *hybridArbiter // root only
+	ghsAwake bool           // saw the GHS-go flood
+}
+
+var _ sim.Process = (*HybridProc)(nil)
+
+// Init starts the DFS wake-up stage at the root.
+func (h *HybridProc) Init(ctx sim.Context) {
+	if ctx.ID() != h.Root {
+		return
+	}
+	h.arb.ctx = ctx
+	h.DFS.Start(tagPort{ctx: ctx, tag: tagDFS})
+	h.checkWakeupDone(ctx)
+}
+
+// checkWakeupDone launches GHS once the DFS stage has completed.
+func (h *HybridProc) checkWakeupDone(ctx sim.Context) {
+	if ctx.ID() != h.Root || !h.DFS.Done || h.ghsAwake {
+		return
+	}
+	h.startGHS(ctx, -1)
+}
+
+// startGHS wakes the local GHS core and floods the go signal.
+func (h *HybridProc) startGHS(ctx sim.Context, from graph.NodeID) {
+	if h.ghsAwake {
+		return
+	}
+	h.ghsAwake = true
+	for _, nb := range ctx.Neighbors() {
+		if nb.To != from {
+			ctx.Send(nb.To, HybridMsg{Tag: tagGHS, Inner: msgGHSGo{}})
+		}
+	}
+	h.GHS.Wakeup(tagPort{ctx: ctx, tag: tagGHS})
+}
+
+// Handle demultiplexes to the cores.
+func (h *HybridProc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	hm, ok := m.(HybridMsg)
+	if !ok {
+		panic(fmt.Sprintf("mst: hybrid got %T", m))
+	}
+	if h.arb != nil {
+		h.arb.ctx = ctx
+	}
+	switch hm.Tag {
+	case tagDFS:
+		h.DFS.Handle(tagPort{ctx: ctx, tag: tagDFS}, from, hm.Inner)
+		h.checkWakeupDone(ctx)
+	case tagGHS:
+		if _, isGo := hm.Inner.(msgGHSGo); isGo {
+			h.startGHS(ctx, from)
+			return
+		}
+		h.GHS.Handle(tagPort{ctx: ctx, tag: tagGHS}, from, hm.Inner)
+	case tagMST:
+		h.MST.Handle(tagPort{ctx: ctx, tag: tagMST}, from, hm.Inner)
+	default:
+		panic(fmt.Sprintf("mst: unknown tag %q", hm.Tag))
+	}
+}
+
+// HybridResult is the outcome of an MSThybrid run.
+type HybridResult struct {
+	// Winner names the side that produced the tree ("ghs" or "mstcentr").
+	Winner string
+	Result *Result
+}
+
+// RunMSTHybrid executes algorithm MSThybrid from the given root.
+func RunMSTHybrid(g *graph.Graph, root graph.NodeID, opts ...sim.Option) (*HybridResult, error) {
+	if !g.Connected() {
+		return nil, fmt.Errorf("mst: graph is disconnected")
+	}
+	n := g.N()
+	procs := make([]sim.Process, n)
+	hps := make([]*HybridProc, n)
+	arb := &hybridArbiter{}
+	for v := range procs {
+		hp := &HybridProc{
+			DFS:  basic.NewDFSCore(root),
+			GHS:  NewGHSCore(ScanSerial),
+			MST:  basic.NewCentrCore(basic.ModeMST, root, n),
+			Root: root,
+		}
+		if graph.NodeID(v) == root {
+			hp.arb = arb
+			arb.mst = hp.MST
+			hp.DFS.Gate = hDFSGate{a: arb}
+			hp.MST.Gate = hMSTGate{a: arb}
+		}
+		hps[v] = hp
+		procs[v] = hp
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefer the GHS result when the wake-up side finished.
+	ghsDone := true
+	cores := make([]*GHSCore, n)
+	for v := range hps {
+		cores[v] = hps[v].GHS
+		if !hps[v].GHS.Done {
+			ghsDone = false
+		}
+	}
+	if ghsDone && hps[root].ghsAwake {
+		res, err := extract(g, cores)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = stats
+		return &HybridResult{Winner: "ghs", Result: res}, nil
+	}
+	if hps[root].MST.Done {
+		var edges []graph.Edge
+		for v := range hps {
+			if p := hps[v].MST.Parent; p >= 0 {
+				edges = append(edges, graph.Edge{U: graph.NodeID(v), V: p, W: g.Weight(graph.NodeID(v), p)})
+			}
+		}
+		if len(edges) != n-1 {
+			return nil, fmt.Errorf("mst: MSTcentr side produced %d edges, want %d", len(edges), n-1)
+		}
+		return &HybridResult{
+			Winner: "mstcentr",
+			Result: &Result{Edges: edges, Stats: stats},
+		}, nil
+	}
+	return nil, fmt.Errorf("mst: hybrid quiesced with no completed side")
+}

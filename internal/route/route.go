@@ -1,0 +1,214 @@
+// Package route builds routing state from the paper's tree structures
+// — the application domain §1.1 motivates (routing and traffic
+// analysis are why networks carry edge weights in the first place, and
+// [ABLP89]-style compact routing is a named consumer of the paper's
+// machinery).
+//
+// A TreeRouter holds next-hop tables along one rooted spanning tree:
+// a route from u to v climbs to their lowest common ancestor and
+// descends. Tree choice sets the trade:
+//
+//   - over an SPT rooted at a hub, routes from the hub are optimal
+//     but the table tree weighs up to Θ(n·𝓥);
+//   - over an MST the table is lightest (𝓥) but a route from the hub
+//     can cost Θ(n·𝓓);
+//   - over a shallow-light tree both are within constants of optimal:
+//     table weight O(𝓥) and every root route at most depth(T) = O(q𝓓).
+//
+// Next hops are resolved with Euler-tour interval labels (an O(1)
+// ancestor test), the standard compact-routing labeling.
+package route
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+)
+
+// TreeRouter answers next-hop queries along one rooted spanning tree.
+type TreeRouter struct {
+	g    *graph.Graph
+	tree *graph.Tree
+	// Euler intervals: v is an ancestor of u iff in[v] <= in[u] < out[v].
+	in, out []int
+	// children[v] lists v's tree children in interval order for descent.
+	children [][]graph.NodeID
+}
+
+// NewTreeRouter builds the tables for a spanning tree of g.
+func NewTreeRouter(g *graph.Graph, tree *graph.Tree) (*TreeRouter, error) {
+	if !tree.Spanning() {
+		return nil, fmt.Errorf("route: tree does not span")
+	}
+	r := &TreeRouter{
+		g:        g,
+		tree:     tree,
+		in:       make([]int, g.N()),
+		out:      make([]int, g.N()),
+		children: make([][]graph.NodeID, g.N()),
+	}
+	for v := 0; v < g.N(); v++ {
+		r.children[v] = tree.Children(graph.NodeID(v))
+	}
+	clock := 0
+	var dfs func(v graph.NodeID)
+	dfs = func(v graph.NodeID) {
+		r.in[v] = clock
+		clock++
+		for _, c := range r.children[v] {
+			dfs(c)
+		}
+		r.out[v] = clock
+	}
+	dfs(tree.Root)
+	return r, nil
+}
+
+// ancestor reports whether a is an ancestor of u (inclusive).
+func (r *TreeRouter) ancestor(a, u graph.NodeID) bool {
+	return r.in[a] <= r.in[u] && r.in[u] < r.out[a]
+}
+
+// NextHop returns the tree neighbor of u on the route toward v.
+func (r *TreeRouter) NextHop(u, v graph.NodeID) (graph.NodeID, error) {
+	if u == v {
+		return u, fmt.Errorf("route: next hop of %d to itself", u)
+	}
+	if r.ancestor(u, v) {
+		// Descend into the child whose interval contains v.
+		for _, c := range r.children[u] {
+			if r.ancestor(c, v) {
+				return c, nil
+			}
+		}
+		return -1, fmt.Errorf("route: broken interval labels at %d", u)
+	}
+	return r.tree.Parent[u], nil
+}
+
+// Route returns the full u→v path along the tree, inclusive.
+func (r *TreeRouter) Route(u, v graph.NodeID) ([]graph.NodeID, error) {
+	path := []graph.NodeID{u}
+	for cur := u; cur != v; {
+		next, err := r.NextHop(cur, v)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		path = append(path, cur)
+		if len(path) > r.g.N() {
+			return nil, fmt.Errorf("route: loop detected %d→%d", u, v)
+		}
+	}
+	return path, nil
+}
+
+// Cost returns the weighted length of the u→v route.
+func (r *TreeRouter) Cost(u, v graph.NodeID) (int64, error) {
+	path, err := r.Route(u, v)
+	if err != nil {
+		return 0, err
+	}
+	var s int64
+	for i := 1; i < len(path); i++ {
+		w := r.g.Weight(path[i-1], path[i])
+		if w < 0 {
+			return 0, fmt.Errorf("route: hop (%d,%d) not a graph edge", path[i-1], path[i])
+		}
+		s += w
+	}
+	return s, nil
+}
+
+// TableWeight returns the weight of the routing tree — the cost figure
+// of the table (one control message per tree edge keeps it alive).
+func (r *TreeRouter) TableWeight() int64 { return r.tree.Weight() }
+
+// StretchStats measures route quality against true shortest paths.
+type StretchStats struct {
+	// Mean and Max stretch (route cost / shortest distance) over all
+	// ordered pairs.
+	Mean, Max float64
+	// Pairs is the number of pairs measured.
+	Pairs int
+}
+
+// MaxCostFrom returns the most expensive route from src to any node —
+// for the tree root this is the tree depth, the SLT-bounded quantity.
+func (r *TreeRouter) MaxCostFrom(src graph.NodeID) (int64, error) {
+	var m int64
+	for v := 0; v < r.g.N(); v++ {
+		if graph.NodeID(v) == src {
+			continue
+		}
+		c, err := r.Cost(src, graph.NodeID(v))
+		if err != nil {
+			return 0, err
+		}
+		if c > m {
+			m = c
+		}
+	}
+	return m, nil
+}
+
+// StretchFrom computes stretch statistics for routes out of src.
+func (r *TreeRouter) StretchFrom(src graph.NodeID) (*StretchStats, error) {
+	st := &StretchStats{Max: 1}
+	sp := graph.Dijkstra(r.g, src)
+	var total float64
+	for v := 0; v < r.g.N(); v++ {
+		if graph.NodeID(v) == src {
+			continue
+		}
+		c, err := r.Cost(src, graph.NodeID(v))
+		if err != nil {
+			return nil, err
+		}
+		s := float64(c) / float64(sp.Dist[v])
+		total += s
+		if s > st.Max {
+			st.Max = s
+		}
+		st.Pairs++
+	}
+	if st.Pairs > 0 {
+		st.Mean = total / float64(st.Pairs)
+	}
+	return st, nil
+}
+
+// Stretch computes the router's stretch statistics over all pairs.
+func (r *TreeRouter) Stretch() (*StretchStats, error) {
+	n := r.g.N()
+	st := &StretchStats{Max: 1}
+	var total float64
+	for u := 0; u < n; u++ {
+		sp := graph.Dijkstra(r.g, graph.NodeID(u))
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			c, err := r.Cost(graph.NodeID(u), graph.NodeID(v))
+			if err != nil {
+				return nil, err
+			}
+			if sp.Dist[v] <= 0 {
+				return nil, fmt.Errorf("route: unreachable pair (%d,%d)", u, v)
+			}
+			s := float64(c) / float64(sp.Dist[v])
+			if s < 1-1e-9 {
+				return nil, fmt.Errorf("route: impossible stretch %.3f for (%d,%d)", s, u, v)
+			}
+			total += s
+			if s > st.Max {
+				st.Max = s
+			}
+			st.Pairs++
+		}
+	}
+	if st.Pairs > 0 {
+		st.Mean = total / float64(st.Pairs)
+	}
+	return st, nil
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"costsense/internal/graph"
+)
+
+// chaosProc is a randomized but *deterministically seeded* protocol:
+// each node forwards received tokens to pseudo-random neighbors while
+// it has budget. It exists to fuzz the engine's invariants, not to
+// compute anything.
+type chaosProc struct {
+	rng    *rand.Rand
+	budget int
+	sent   int64 // weighted cost of own sends (engine cross-check)
+	msgs   int64
+}
+
+func (c *chaosProc) send(ctx Context) {
+	nbs := ctx.Neighbors()
+	if len(nbs) == 0 || c.budget <= 0 {
+		return
+	}
+	k := 1 + c.rng.Intn(2)
+	for i := 0; i < k && c.budget > 0; i++ {
+		h := nbs[c.rng.Intn(len(nbs))]
+		c.budget--
+		c.sent += h.W
+		c.msgs++
+		ctx.Send(h.To, "tok")
+	}
+}
+
+func (c *chaosProc) Init(ctx Context) {
+	if ctx.ID()%3 == 0 {
+		c.send(ctx)
+	}
+}
+
+func (c *chaosProc) Handle(ctx Context, _ graph.NodeID, _ Message) {
+	c.send(ctx)
+}
+
+// TestEngineInvariantsUnderChaos fuzzes the engine: for random graphs,
+// seeds and delay models, the accounted weighted communication must
+// equal the sum over nodes of their own send costs, message counts
+// must agree, runs must be deterministic, and FinishTime must be the
+// time of some delivery.
+func TestEngineInvariantsUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.RandomConnected(n, n-1+rng.Intn(3*n), graph.UniformWeights(1+rng.Int63n(40), seed), seed)
+		delay := []DelayModel{DelayMax{}, DelayUnit{}, DelayUniform{}}[rng.Intn(3)]
+
+		runOnce := func() (*Stats, []*chaosProc, error) {
+			procs := make([]Process, n)
+			cs := make([]*chaosProc, n)
+			for v := range procs {
+				cs[v] = &chaosProc{rng: rand.New(rand.NewSource(seed + int64(v))), budget: 5 + rng.Intn(20)}
+				procs[v] = cs[v]
+			}
+			stats, err := Run(g, procs, WithDelay(delay), WithSeed(seed))
+			return stats, cs, err
+		}
+		s1, cs1, err := runOnce()
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		var wantComm, wantMsgs int64
+		for _, c := range cs1 {
+			wantComm += c.sent
+			wantMsgs += c.msgs
+		}
+		if s1.Comm != wantComm || s1.Messages != wantMsgs {
+			t.Logf("seed %d: engine accounted comm=%d msgs=%d, processes sent comm=%d msgs=%d",
+				seed, s1.Comm, s1.Messages, wantComm, wantMsgs)
+			return false
+		}
+		if s1.Messages > 0 && s1.FinishTime <= 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDeterminismUnderChaos re-runs identical chaos twice and
+// demands bit-identical statistics.
+func TestEngineDeterminismUnderChaos(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := n - 1 + rng.Intn(2*n)
+		maxW := 1 + rng.Int63n(30)
+		budget := 5 + rng.Intn(15)
+
+		run := func() *Stats {
+			g := graph.RandomConnected(n, m, graph.UniformWeights(maxW, seed), seed)
+			procs := make([]Process, n)
+			for v := range procs {
+				procs[v] = &chaosProc{rng: rand.New(rand.NewSource(seed ^ int64(v))), budget: budget}
+			}
+			stats, err := Run(g, procs, WithDelay(DelayUniform{}), WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return stats
+		}
+		a, b := run(), run()
+		return a.Comm == b.Comm && a.Messages == b.Messages &&
+			a.FinishTime == b.FinishTime && a.Events == b.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

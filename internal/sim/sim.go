@@ -1,0 +1,362 @@
+// Package sim provides the executable form of the paper's model of
+// computation (§1.3): a static asynchronous point-to-point network over
+// a weighted graph G = (V, E, w), where
+//
+//   - transmitting a message over edge e costs w(e) units of
+//     communication, and
+//   - the delay of edge e varies adversarially in (0, w(e)].
+//
+// The simulator is a deterministic discrete-event engine. It accounts
+// the two cost-sensitive complexity measures of the paper — weighted
+// communication c_π and completion time t_π — separated per message
+// class, so that synchronizer and controller overheads can be reported
+// apart from the protocol's own traffic.
+//
+// The package also contains a weighted *synchronous* executor
+// (SyncRun): edge e delivers in exactly w(e) pulses. It provides the
+// reference semantics that network synchronizers (§4) must simulate.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"costsense/internal/graph"
+)
+
+// Message is an opaque protocol payload.
+type Message any
+
+// Class labels a message for cost accounting.
+type Class string
+
+// Message classes used across the library. Protocols may introduce
+// their own.
+const (
+	ClassProto   Class = "proto"   // the simulated algorithm's own messages
+	ClassAck     Class = "ack"     // acknowledgments (free asymptotically, §4.1)
+	ClassSync    Class = "sync"    // synchronizer overhead
+	ClassControl Class = "control" // controller overhead
+)
+
+// Context is the interface a process uses to interact with the network.
+// The model is full-information with respect to topology (§1.4.1: "the
+// structure of the network is known to all the vertices, including the
+// edge weights"); only the other vertices' inputs and dynamic state are
+// unknown.
+type Context interface {
+	// ID returns this node's identity.
+	ID() graph.NodeID
+	// Now returns the current simulated time.
+	Now() int64
+	// Graph returns the communication graph.
+	Graph() *graph.Graph
+	// Neighbors returns this node's incident half-edges.
+	Neighbors() []graph.Half
+	// Send transmits m to a neighbor at cost w(e), class ClassProto.
+	Send(to graph.NodeID, m Message)
+	// SendClass transmits m with an explicit accounting class.
+	SendClass(to graph.NodeID, m Message, c Class)
+	// Record appends (node, time, key, value) to the run trace.
+	Record(key string, value int64)
+}
+
+// Process is a per-node protocol automaton. Local computation is free
+// and instantaneous, per the standard model.
+type Process interface {
+	// Init runs once at time 0.
+	Init(Context)
+	// Handle runs on every message delivery.
+	Handle(ctx Context, from graph.NodeID, m Message)
+}
+
+// DelayModel chooses the delay of each transmission.
+type DelayModel interface {
+	// Delay returns the transit time for a message on e, in [1, e.W].
+	Delay(e graph.Edge, rng *rand.Rand) int64
+}
+
+// DelayMax is the maximal adversary: every message takes exactly w(e).
+// This is the adversary against which the paper's upper bounds are
+// proved, and the default.
+type DelayMax struct{}
+
+// Delay returns w(e).
+func (DelayMax) Delay(e graph.Edge, _ *rand.Rand) int64 { return e.W }
+
+// DelayUnit delivers every message in one time unit regardless of
+// weight — the most lenient adversary, useful to separate congestion
+// from transit time.
+type DelayUnit struct{}
+
+// Delay returns 1.
+func (DelayUnit) Delay(graph.Edge, *rand.Rand) int64 { return 1 }
+
+// DelayUniform draws each delay uniformly from [1, w(e)].
+type DelayUniform struct{}
+
+// Delay returns a uniform draw from [1, w(e)].
+func (DelayUniform) Delay(e graph.Edge, rng *rand.Rand) int64 {
+	if e.W <= 1 {
+		return 1
+	}
+	return 1 + rng.Int63n(e.W)
+}
+
+// ClassStats aggregates the cost of one message class.
+type ClassStats struct {
+	Messages int64 // number of messages
+	Comm     int64 // weighted communication: Σ w(e) over transmissions
+}
+
+// Stats aggregates the cost-sensitive complexity of a run.
+type Stats struct {
+	Messages   int64 // total messages
+	Comm       int64 // total weighted communication c_π
+	FinishTime int64 // completion time t_π (time of last delivery)
+	ByClass    map[Class]ClassStats
+	Events     int64 // deliveries processed (safety budget accounting)
+	// UsedEdges marks the edges that carried at least one message —
+	// the subgraph G' of the Theorem 2.1 information-flow argument.
+	UsedEdges []bool
+}
+
+// UsedWeight returns w(G'): the total weight of edges that carried
+// traffic. Theorem 2.1: for a global function computation, G' must
+// contain a spanning tree, so UsedWeight() >= 𝓥.
+func (s *Stats) UsedWeight(g *graph.Graph) int64 {
+	var w int64
+	for id, used := range s.UsedEdges {
+		if used {
+			w += g.Edge(graph.EdgeID(id)).W
+		}
+	}
+	return w
+}
+
+// UsedSpans reports whether the used edges connect all of V.
+func (s *Stats) UsedSpans(g *graph.Graph) bool {
+	dsu := graph.NewDSU(g.N())
+	comps := g.N()
+	for id, used := range s.UsedEdges {
+		if used {
+			e := g.Edge(graph.EdgeID(id))
+			if dsu.Union(int(e.U), int(e.V)) {
+				comps--
+			}
+		}
+	}
+	return comps == 1 || g.N() <= 1
+}
+
+// CommOf returns the weighted communication of one class.
+func (s *Stats) CommOf(c Class) int64 { return s.ByClass[c].Comm }
+
+// MessagesOf returns the message count of one class.
+func (s *Stats) MessagesOf(c Class) int64 { return s.ByClass[c].Messages }
+
+// TracePoint is one Record call.
+type TracePoint struct {
+	Node  graph.NodeID
+	Time  int64
+	Value int64
+}
+
+type event struct {
+	at   int64
+	seq  int64
+	to   graph.NodeID
+	from graph.NodeID
+	msg  Message
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDelay sets the delay model (default DelayMax).
+func WithDelay(d DelayModel) Option {
+	return func(n *Network) { n.delay = d }
+}
+
+// WithSeed seeds the delay RNG (default 1). Runs are deterministic for
+// a fixed seed and delay model.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithEventLimit bounds the number of deliveries before Run aborts with
+// an error; a guard against diverging protocols (default 50 million).
+func WithEventLimit(limit int64) Option {
+	return func(n *Network) { n.eventLimit = limit }
+}
+
+// WithCongestion makes links capacitated: a directed edge transmits one
+// message at a time, each occupying it for the message's delay, so
+// concurrent messages on a shared edge serialize. This is the link
+// model behind the congestion factors in the paper's time bounds (e.g.
+// the extra log n in γ*'s O(d·log²n) pulse delay, from edges shared by
+// O(log n) cover trees). Off by default: the plain model delivers every
+// message after its own delay regardless of load.
+func WithCongestion() Option {
+	return func(n *Network) { n.congested = true }
+}
+
+// Network is one asynchronous execution: a graph, one process per
+// vertex, and a pending-event queue.
+type Network struct {
+	g          *graph.Graph
+	procs      []Process
+	delay      DelayModel
+	rng        *rand.Rand
+	queue      eventHeap
+	now        int64
+	seq        int64
+	lastArrive map[int64]int64 // directed edge key -> last scheduled arrival (FIFO)
+	stats      Stats
+	traces     map[string][]TracePoint
+	eventLimit int64
+	congested  bool
+	ctxs       []nodeCtx
+}
+
+// NewNetwork creates a network running procs[v] at vertex v.
+func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("sim: %d processes for %d vertices", len(procs), g.N())
+	}
+	n := &Network{
+		g:          g,
+		procs:      procs,
+		delay:      DelayMax{},
+		rng:        rand.New(rand.NewSource(1)),
+		lastArrive: make(map[int64]int64),
+		traces:     make(map[string][]TracePoint),
+		eventLimit: 50_000_000,
+	}
+	n.stats.ByClass = make(map[Class]ClassStats)
+	n.stats.UsedEdges = make([]bool, g.M())
+	for _, o := range opts {
+		o(n)
+	}
+	n.ctxs = make([]nodeCtx, g.N())
+	for v := range n.ctxs {
+		n.ctxs[v] = nodeCtx{net: n, id: graph.NodeID(v)}
+	}
+	return n, nil
+}
+
+// nodeCtx implements Context for one vertex.
+type nodeCtx struct {
+	net *Network
+	id  graph.NodeID
+}
+
+var _ Context = (*nodeCtx)(nil)
+
+func (c *nodeCtx) ID() graph.NodeID        { return c.id }
+func (c *nodeCtx) Now() int64              { return c.net.now }
+func (c *nodeCtx) Graph() *graph.Graph     { return c.net.g }
+func (c *nodeCtx) Neighbors() []graph.Half { return c.net.g.Adj(c.id) }
+func (c *nodeCtx) Send(to graph.NodeID, m Message) {
+	c.net.send(c.id, to, m, ClassProto)
+}
+func (c *nodeCtx) SendClass(to graph.NodeID, m Message, cl Class) {
+	c.net.send(c.id, to, m, cl)
+}
+func (c *nodeCtx) Record(key string, value int64) {
+	c.net.traces[key] = append(c.net.traces[key], TracePoint{Node: c.id, Time: c.net.now, Value: value})
+}
+
+func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
+	w := int64(-1)
+	for _, h := range n.g.Adj(from) {
+		if h.To == to {
+			w = h.W
+			n.stats.UsedEdges[h.ID] = true
+			break
+		}
+	}
+	if w < 0 {
+		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", from, to))
+	}
+	n.stats.Messages++
+	n.stats.Comm += w
+	cs := n.stats.ByClass[cl]
+	cs.Messages++
+	cs.Comm += w
+	n.stats.ByClass[cl] = cs
+
+	e := graph.Edge{U: from, V: to, W: w}
+	d := n.delay.Delay(e, n.rng)
+	key := int64(from)*int64(n.g.N()) + int64(to)
+	var at int64
+	if n.congested {
+		// Capacitated link: the edge carries one message at a time,
+		// each occupying it for its delay.
+		start := n.now
+		if busy, ok := n.lastArrive[key]; ok && busy > start {
+			start = busy
+		}
+		at = start + d
+	} else {
+		at = n.now + d
+		if last, ok := n.lastArrive[key]; ok && at < last {
+			at = last // FIFO per directed edge
+		}
+	}
+	n.lastArrive[key] = at
+	n.seq++
+	heap.Push(&n.queue, event{at: at, seq: n.seq, to: to, from: from, msg: m})
+}
+
+// Run initializes every process at time 0 and drives the event queue to
+// quiescence. It returns the accumulated statistics. Run may be called
+// once per Network.
+func (n *Network) Run() (*Stats, error) {
+	for v := range n.procs {
+		n.procs[v].Init(&n.ctxs[v])
+	}
+	for n.queue.Len() > 0 {
+		if n.stats.Events >= n.eventLimit {
+			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%d (diverging protocol?)", n.eventLimit, n.now)
+		}
+		ev := heap.Pop(&n.queue).(event)
+		n.now = ev.at
+		n.stats.Events++
+		n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
+	}
+	n.stats.FinishTime = n.now
+	return &n.stats, nil
+}
+
+// Trace returns the recorded points for a key, in delivery order.
+func (n *Network) Trace(key string) []TracePoint { return n.traces[key] }
+
+// Run is a convenience wrapper: build a network and run it.
+func Run(g *graph.Graph, procs []Process, opts ...Option) (*Stats, error) {
+	n, err := NewNetwork(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return n.Run()
+}

@@ -1,0 +1,368 @@
+package sim
+
+import (
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+// pingPong: node 0 sends "ping" k times to node 1, which answers "pong".
+type pingPong struct {
+	id       graph.NodeID
+	k        int
+	received []int64 // delivery times
+	seq      []int   // payloads in delivery order
+}
+
+func (p *pingPong) Init(ctx Context) {
+	if p.id == 0 {
+		for i := 0; i < p.k; i++ {
+			ctx.Send(1, i)
+		}
+	}
+}
+
+func (p *pingPong) Handle(ctx Context, from graph.NodeID, m Message) {
+	v, _ := m.(int)
+	p.received = append(p.received, ctx.Now())
+	p.seq = append(p.seq, v)
+	if p.id == 1 {
+		ctx.SendClass(0, v, ClassAck)
+	}
+}
+
+func twoNode(w int64) *graph.Graph {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, w)
+	return b.MustBuild()
+}
+
+func TestSendDeliveryAndAccounting(t *testing.T) {
+	g := twoNode(7)
+	p0 := &pingPong{id: 0, k: 3}
+	p1 := &pingPong{id: 1}
+	stats, err := Run(g, []Process{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Messages != 6 {
+		t.Errorf("Messages = %d, want 6 (3 pings + 3 pongs)", stats.Messages)
+	}
+	if stats.Comm != 42 {
+		t.Errorf("Comm = %d, want 42", stats.Comm)
+	}
+	if got := stats.CommOf(ClassProto); got != 21 {
+		t.Errorf("proto comm = %d, want 21", got)
+	}
+	if got := stats.CommOf(ClassAck); got != 21 {
+		t.Errorf("ack comm = %d, want 21", got)
+	}
+	if got := stats.MessagesOf(ClassAck); got != 3 {
+		t.Errorf("ack messages = %d, want 3", got)
+	}
+	// With DelayMax, pings all arrive at t=7 (FIFO, same send time),
+	// pongs at t=14.
+	if stats.FinishTime != 14 {
+		t.Errorf("FinishTime = %d, want 14", stats.FinishTime)
+	}
+	for _, at := range p1.received {
+		if at != 7 {
+			t.Errorf("ping delivered at %d, want 7", at)
+		}
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	// Under random delays, FIFO per directed edge must still hold.
+	g := twoNode(1000)
+	p0 := &pingPong{id: 0, k: 50}
+	p1 := &pingPong{id: 1}
+	_, err := Run(g, []Process{p0, p1}, WithDelay(DelayUniform{}), WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p1.seq {
+		if v != i {
+			t.Fatalf("FIFO violated: position %d got payload %d (%v)", i, v, p1.seq)
+		}
+	}
+	for i := 1; i < len(p1.received); i++ {
+		if p1.received[i] < p1.received[i-1] {
+			t.Fatalf("delivery times not monotone: %v", p1.received)
+		}
+	}
+}
+
+func TestDelayModels(t *testing.T) {
+	g := twoNode(9)
+	run := func(d DelayModel) int64 {
+		p0 := &pingPong{id: 0, k: 1}
+		p1 := &pingPong{id: 1}
+		_, err := Run(g, []Process{p0, p1}, WithDelay(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p1.received[0]
+	}
+	if at := run(DelayMax{}); at != 9 {
+		t.Errorf("DelayMax delivery at %d, want 9", at)
+	}
+	if at := run(DelayUnit{}); at != 1 {
+		t.Errorf("DelayUnit delivery at %d, want 1", at)
+	}
+	if at := run(DelayUniform{}); at < 1 || at > 9 {
+		t.Errorf("DelayUniform delivery at %d, want in [1,9]", at)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := graph.RandomConnected(20, 50, graph.UniformWeights(30, 5), 5)
+	runOnce := func() *Stats {
+		procs := make([]Process, g.N())
+		for v := range procs {
+			procs[v] = &flooder{}
+		}
+		st, err := Run(g, procs, WithDelay(DelayUniform{}), WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := runOnce(), runOnce()
+	if a.Messages != b.Messages || a.Comm != b.Comm || a.FinishTime != b.FinishTime {
+		t.Fatalf("nondeterministic run: %+v vs %+v", a, b)
+	}
+}
+
+// flooder floods one token from node 0; every node forwards first receipt.
+type flooder struct {
+	Got   bool
+	GotAt int64
+}
+
+func (f *flooder) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		f.Got = true
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, "flood")
+		}
+	}
+}
+
+func (f *flooder) Handle(ctx Context, _ graph.NodeID, _ Message) {
+	if f.Got {
+		return
+	}
+	f.Got = true
+	f.GotAt = ctx.Now()
+	for _, h := range ctx.Neighbors() {
+		ctx.Send(h.To, "flood")
+	}
+}
+
+func TestFloodReachesAllWithinDiameterBound(t *testing.T) {
+	g := graph.Grid(5, 5, graph.UniformWeights(10, 3))
+	procs := make([]Process, g.N())
+	fl := make([]*flooder, g.N())
+	for v := range procs {
+		fl[v] = &flooder{}
+		procs[v] = fl[v]
+	}
+	stats, err := Run(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := graph.Dijkstra(g, 0)
+	for v, f := range fl {
+		if !f.Got {
+			t.Fatalf("node %d never got the flood", v)
+		}
+		// Under DelayMax every delivery takes exactly w(e), so the
+		// first receipt is exactly the shortest weighted distance.
+		if graph.NodeID(v) != 0 && f.GotAt != sp.Dist[v] {
+			t.Errorf("node %d flooded at %d, want dist %d", v, f.GotAt, sp.Dist[v])
+		}
+	}
+	// Comm of flooding <= 2𝓔 (each edge carries <= 2 messages).
+	if stats.Comm > 2*g.TotalWeight() {
+		t.Errorf("flood comm %d > 2𝓔 = %d", stats.Comm, 2*g.TotalWeight())
+	}
+}
+
+type bomb struct{}
+
+func (bomb) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, 0)
+	}
+}
+func (bomb) Handle(ctx Context, from graph.NodeID, _ Message) {
+	ctx.Send(from, 0) // infinite ping-pong
+}
+
+func TestEventLimit(t *testing.T) {
+	g := twoNode(1)
+	_, err := Run(g, []Process{bomb{}, bomb{}}, WithEventLimit(1000))
+	if err == nil {
+		t.Fatal("diverging protocol should hit the event limit")
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	g := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on send to non-neighbor")
+		}
+	}()
+	procs := []Process{badSender{}, idle{}, idle{}}
+	_, _ = Run(g, procs)
+}
+
+type badSender struct{}
+
+func (badSender) Init(ctx Context)                      { ctx.Send(2, 0) }
+func (badSender) Handle(Context, graph.NodeID, Message) {}
+
+type idle struct{}
+
+func (idle) Init(Context)                          {}
+func (idle) Handle(Context, graph.NodeID, Message) {}
+
+type recorder struct{}
+
+func (recorder) Init(ctx Context) {
+	ctx.Record("pulse", 1)
+	if ctx.ID() == 0 {
+		ctx.Send(1, 0)
+	}
+}
+func (recorder) Handle(ctx Context, _ graph.NodeID, _ Message) {
+	ctx.Record("pulse", 2)
+}
+
+func TestTrace(t *testing.T) {
+	g := twoNode(5)
+	n, err := NewNetwork(g, []Process{recorder{}, recorder{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr := n.Trace("pulse")
+	if len(tr) != 3 {
+		t.Fatalf("trace has %d points, want 3", len(tr))
+	}
+	last := tr[len(tr)-1]
+	if last.Node != 1 || last.Time != 5 || last.Value != 2 {
+		t.Fatalf("last trace point = %+v", last)
+	}
+}
+
+func TestProcessCountMismatch(t *testing.T) {
+	g := twoNode(1)
+	if _, err := NewNetwork(g, []Process{idle{}}); err == nil {
+		t.Fatal("expected error on process count mismatch")
+	}
+}
+
+func TestCustomClassAccounting(t *testing.T) {
+	g := twoNode(5)
+	const myClass = Class("gossip")
+	procs := []Process{classSender{class: myClass}, idle{}}
+	st, err := Run(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommOf(myClass) != 15 || st.MessagesOf(myClass) != 3 {
+		t.Fatalf("custom class accounting: comm=%d msgs=%d, want 15/3",
+			st.CommOf(myClass), st.MessagesOf(myClass))
+	}
+	if st.CommOf(ClassProto) != 0 {
+		t.Fatal("no proto traffic expected")
+	}
+}
+
+type classSender struct{ class Class }
+
+func (c classSender) Init(ctx Context) {
+	for i := 0; i < 3; i++ {
+		ctx.SendClass(1, i, c.class)
+	}
+}
+func (classSender) Handle(Context, graph.NodeID, Message) {}
+
+func TestUsedEdgesAccounting(t *testing.T) {
+	// A ping between 0 and 1 on a triangle uses exactly one edge.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 4)
+	b.AddEdge(1, 2, 5)
+	b.AddEdge(0, 2, 6)
+	g := b.MustBuild()
+	p0 := &pingPong{id: 0, k: 1}
+	p1 := &pingPong{id: 1}
+	st, err := Run(g, []Process{p0, p1, idle{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedWeight(g) != 4 {
+		t.Fatalf("UsedWeight = %d, want 4", st.UsedWeight(g))
+	}
+	if st.UsedSpans(g) {
+		t.Fatal("one edge cannot span a triangle")
+	}
+	used := 0
+	for _, u := range st.UsedEdges {
+		if u {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Fatalf("%d edges used, want 1", used)
+	}
+}
+
+func TestCongestedLinksSerialize(t *testing.T) {
+	// Three messages sent simultaneously on a weight-5 edge: without
+	// congestion all arrive at t=5; with it, at 5, 10 and 15.
+	run := func(opts ...Option) []int64 {
+		g := twoNode(5)
+		p0 := &pingPong{id: 0, k: 3}
+		p1 := &pingPong{id: 1}
+		if _, err := Run(g, []Process{p0, p1}, opts...); err != nil {
+			t.Fatal(err)
+		}
+		return p1.received
+	}
+	plain := run()
+	for _, at := range plain {
+		if at != 5 {
+			t.Fatalf("plain model delivery at %d, want 5", at)
+		}
+	}
+	congested := run(WithCongestion())
+	want := []int64{5, 10, 15}
+	for i, at := range congested {
+		if at != want[i] {
+			t.Fatalf("congested deliveries = %v, want %v", congested, want)
+		}
+	}
+}
+
+func TestCongestionPreservesFIFOAndCorrectness(t *testing.T) {
+	g := twoNode(100)
+	p0 := &pingPong{id: 0, k: 30}
+	p1 := &pingPong{id: 1}
+	_, err := Run(g, []Process{p0, p1}, WithCongestion(), WithDelay(DelayUniform{}), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p1.seq {
+		if v != i {
+			t.Fatalf("FIFO violated under congestion: %v", p1.seq)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+)
+
+// SyncMessage is a message delivered to a synchronous process.
+type SyncMessage struct {
+	From    graph.NodeID
+	Payload Message
+}
+
+// SyncContext is the interface a synchronous process uses during a
+// pulse. In the weighted synchronous semantics (§4.1), a message sent
+// over edge e at pulse p is delivered at pulse p + w(e).
+type SyncContext interface {
+	// ID returns this node's identity.
+	ID() graph.NodeID
+	// Graph returns the communication graph.
+	Graph() *graph.Graph
+	// Pulse returns the current pulse number.
+	Pulse() int64
+	// Send transmits m to a neighbor; it arrives w(e) pulses later.
+	Send(to graph.NodeID, m Message)
+	// Halt marks this node locally terminated. A halted node receives
+	// no further Pulse calls; the run ends when every node halted and
+	// no message is in flight.
+	Halt()
+}
+
+// SyncProcess is a protocol written for the weighted synchronous
+// network. Synchronizers (§4) execute such protocols on the
+// asynchronous network; SyncRun executes them directly and serves as
+// the reference semantics.
+type SyncProcess interface {
+	// Init runs at pulse 0 before any delivery.
+	Init(SyncContext)
+	// Pulse runs at every pulse p >= 1 while the node is live, with the
+	// messages arriving exactly at p.
+	Pulse(ctx SyncContext, inbox []SyncMessage)
+}
+
+// SyncStats aggregates the cost of a synchronous run.
+type SyncStats struct {
+	Pulses   int64 // completion time in pulses
+	Messages int64
+	Comm     int64 // weighted communication
+}
+
+type syncPending struct {
+	to  graph.NodeID
+	msg SyncMessage
+}
+
+type syncRunner struct {
+	g       *graph.Graph
+	pulse   int64
+	pending map[int64][]syncPending // arrival pulse -> deliveries
+	halted  []bool
+	nHalted int
+	stats   SyncStats
+	inSynch bool
+}
+
+type syncCtx struct {
+	r  *syncRunner
+	id graph.NodeID
+}
+
+var _ SyncContext = (*syncCtx)(nil)
+
+func (c *syncCtx) ID() graph.NodeID    { return c.id }
+func (c *syncCtx) Graph() *graph.Graph { return c.r.g }
+func (c *syncCtx) Pulse() int64        { return c.r.pulse }
+
+func (c *syncCtx) Send(to graph.NodeID, m Message) {
+	w := c.r.g.Weight(c.id, to)
+	if w < 0 {
+		panic(fmt.Sprintf("sim: sync node %d sent to non-neighbor %d", c.id, to))
+	}
+	c.r.stats.Messages++
+	c.r.stats.Comm += w
+	if c.r.pulse%w != 0 {
+		c.r.inSynch = false
+	}
+	at := c.r.pulse + w
+	c.r.pending[at] = append(c.r.pending[at], syncPending{
+		to:  to,
+		msg: SyncMessage{From: c.id, Payload: m},
+	})
+}
+
+func (c *syncCtx) Halt() {
+	if !c.r.halted[c.id] {
+		c.r.halted[c.id] = true
+		c.r.nHalted++
+	}
+}
+
+// SyncResult is the outcome of a synchronous reference run.
+type SyncResult struct {
+	Stats SyncStats
+	// InSynch reports whether the protocol was "in synch with G"
+	// (Def 4.2): every message was sent at a pulse divisible by the
+	// weight of its edge.
+	InSynch bool
+}
+
+// SyncRun executes a synchronous protocol on the weighted synchronous
+// network until every node halts and no message is in flight, or until
+// maxPulses elapses (then it errors).
+func SyncRun(g *graph.Graph, procs []SyncProcess, maxPulses int64) (*SyncResult, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("sim: %d sync processes for %d vertices", len(procs), g.N())
+	}
+	r := &syncRunner{
+		g:       g,
+		pending: make(map[int64][]syncPending),
+		halted:  make([]bool, g.N()),
+		inSynch: true,
+	}
+	ctxs := make([]syncCtx, g.N())
+	for v := range ctxs {
+		ctxs[v] = syncCtx{r: r, id: graph.NodeID(v)}
+	}
+	for v := range procs {
+		procs[v].Init(&ctxs[v])
+	}
+	for r.pulse = 1; ; r.pulse++ {
+		if r.pulse > maxPulses {
+			return nil, fmt.Errorf("sim: sync run exceeded %d pulses", maxPulses)
+		}
+		inboxes := make(map[graph.NodeID][]SyncMessage)
+		for _, d := range r.pending[r.pulse] {
+			inboxes[d.to] = append(inboxes[d.to], d.msg)
+		}
+		delete(r.pending, r.pulse)
+		for v := range procs {
+			if r.halted[v] {
+				continue
+			}
+			procs[v].Pulse(&ctxs[v], inboxes[graph.NodeID(v)])
+		}
+		if r.nHalted == g.N() && len(r.pending) == 0 {
+			break
+		}
+	}
+	r.stats.Pulses = r.pulse
+	return &SyncResult{Stats: r.stats, InSynch: r.inSynch}, nil
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+// syncEcho: node 0 sends its ID at pulse 0; receivers record arrival
+// pulse and halt.
+type syncEcho struct {
+	ArrivedAt int64
+}
+
+func (s *syncEcho) Init(ctx SyncContext) {
+	s.ArrivedAt = -1
+	if ctx.ID() == 0 {
+		for _, h := range ctx.Graph().Adj(0) {
+			ctx.Send(h.To, "hello")
+		}
+	}
+}
+
+func (s *syncEcho) Pulse(ctx SyncContext, inbox []SyncMessage) {
+	if ctx.ID() == 0 {
+		ctx.Halt() // the sender is done after pulse 0
+		return
+	}
+	if len(inbox) > 0 {
+		s.ArrivedAt = ctx.Pulse()
+		ctx.Halt()
+	}
+}
+
+func TestSyncWeightedDelivery(t *testing.T) {
+	// 0 --3-- 1, 0 --5-- 2: messages arrive at pulses 3 and 5 exactly.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(0, 2, 5)
+	g := b.MustBuild()
+	procs := []SyncProcess{&syncEcho{}, &syncEcho{}, &syncEcho{}}
+	res, err := SyncRun(g, procs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes halt at pulse 1, but re-halting is idempotent; messages in
+	// flight keep the run alive until pulse 5.
+	if res.Stats.Pulses < 5 {
+		t.Errorf("Pulses = %d, want >= 5", res.Stats.Pulses)
+	}
+	if got := procs[1].(*syncEcho).ArrivedAt; got != 3 {
+		t.Errorf("node 1 arrival pulse = %d, want 3", got)
+	}
+	if got := procs[2].(*syncEcho).ArrivedAt; got != 5 {
+		t.Errorf("node 2 arrival pulse = %d, want 5", got)
+	}
+	if res.Stats.Comm != 8 {
+		t.Errorf("Comm = %d, want 8", res.Stats.Comm)
+	}
+	if !res.InSynch {
+		t.Error("sends at pulse 0 are divisible by every weight; run should be in synch")
+	}
+}
+
+// offBeatSender sends on a weight-2 edge at pulse 1 (not divisible).
+type offBeatSender struct{ sent bool }
+
+func (o *offBeatSender) Init(SyncContext) {}
+func (o *offBeatSender) Pulse(ctx SyncContext, inbox []SyncMessage) {
+	if ctx.ID() == 0 && !o.sent && ctx.Pulse() == 1 {
+		o.sent = true
+		ctx.Send(1, "offbeat")
+		return
+	}
+	if ctx.Pulse() >= 4 {
+		ctx.Halt()
+	}
+}
+
+func TestInSynchDetection(t *testing.T) {
+	g := twoNode(2)
+	procs := []SyncProcess{&offBeatSender{}, &offBeatSender{}}
+	res, err := SyncRun(g, procs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InSynch {
+		t.Error("send at pulse 1 on a weight-2 edge must break in-synch")
+	}
+}
+
+type never struct{}
+
+func (never) Init(SyncContext)                 {}
+func (never) Pulse(SyncContext, []SyncMessage) {}
+
+func TestSyncMaxPulses(t *testing.T) {
+	g := twoNode(1)
+	if _, err := SyncRun(g, []SyncProcess{never{}, never{}}, 50); err == nil {
+		t.Fatal("non-halting protocol should exceed maxPulses")
+	}
+}
+
+func TestHaltedNodesGetNoPulse(t *testing.T) {
+	g := twoNode(4)
+	h := &haltCounter{}
+	procs := []SyncProcess{h, &syncEcho{}}
+	if _, err := SyncRun(g, procs, 100); err != nil {
+		t.Fatal(err)
+	}
+	if h.pulses != 1 {
+		t.Fatalf("halted node got %d pulses, want 1", h.pulses)
+	}
+}
+
+type haltCounter struct{ pulses int }
+
+func (h *haltCounter) Init(ctx SyncContext) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, "x") // keep the run alive for a few pulses
+	}
+}
+func (h *haltCounter) Pulse(ctx SyncContext, _ []SyncMessage) {
+	h.pulses++
+	ctx.Halt()
+}
+
+// syncFlood floods from 0: first arrival forwards to all neighbors.
+type syncFlood struct {
+	Got   bool
+	GotAt int64
+}
+
+func (f *syncFlood) Init(ctx SyncContext) {
+	if ctx.ID() == 0 {
+		f.Got = true
+		f.GotAt = 0
+		for _, h := range ctx.Graph().Adj(ctx.ID()) {
+			ctx.Send(h.To, "f")
+		}
+	}
+}
+
+func (f *syncFlood) Pulse(ctx SyncContext, inbox []SyncMessage) {
+	if !f.Got && len(inbox) > 0 {
+		f.Got = true
+		f.GotAt = ctx.Pulse()
+		for _, h := range ctx.Graph().Adj(ctx.ID()) {
+			ctx.Send(h.To, "f")
+		}
+	}
+	if f.Got {
+		ctx.Halt()
+	}
+}
+
+func TestSyncFloodMatchesDistances(t *testing.T) {
+	// In the weighted synchronous model, flood arrival pulse = weighted
+	// distance — but only when forwarding is instantaneous. Our flood
+	// forwards on the pulse of arrival, so arrival pulses equal
+	// distances exactly.
+	g := graph.Grid(4, 4, graph.UniformWeights(6, 8))
+	procs := make([]SyncProcess, g.N())
+	fl := make([]*syncFlood, g.N())
+	for v := range procs {
+		fl[v] = &syncFlood{}
+		procs[v] = fl[v]
+	}
+	if _, err := SyncRun(g, procs, 10000); err != nil {
+		t.Fatal(err)
+	}
+	sp := graph.Dijkstra(g, 0)
+	for v, f := range fl {
+		if !f.Got {
+			t.Fatalf("node %d not flooded", v)
+		}
+		if f.GotAt != sp.Dist[v] {
+			t.Errorf("node %d flooded at pulse %d, want %d", v, f.GotAt, sp.Dist[v])
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package spt implements the shortest path tree algorithms of §9:
+//
+//   - SPTsynch — the synchronous SPT algorithm (flood on the weighted
+//     synchronous network, §9.1) executed under synchronizer γ_w:
+//     communication O(𝓔 + 𝓓·kn·log n), time O(𝓓·log_k n·log n);
+//   - SPTrecur — the strip method of §9.2 (after [Awe89]): the distance
+//     range is cut into strips of depth ℓ; strips are processed
+//     sequentially under global synchronization over the growing tree,
+//     while relaxation inside a strip runs unsynchronized with
+//     Dijkstra–Scholten termination detection. Each edge is explored at
+//     most once per direction (the exploration of edge (u,v) is
+//     scheduled for the strip containing dist(u)+w(u,v)), giving
+//     communication O(𝓔 + (𝓓/ℓ)·w(T)) and time O(𝓓²/ℓ + 𝓓) — the
+//     𝓓^(1+ε) tradeoff curve of the paper for ℓ = 𝓓^(1-ε). (The full
+//     [Awe89] recursion nests this construction; one level reproduces
+//     the measured shapes.)
+//   - SPThybrid — §9.3: runs whichever of the two is predicted cheaper
+//     (in the paper's full-information model the topology is known
+//     everywhere, so this arbitration is free).
+package spt
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// SPTrecur messages.
+type (
+	// MsgExplore proposes the label Label = dist(sender) + w(e).
+	MsgExplore struct{ Label int64 }
+	// MsgExpAck acknowledges an exploration. Engaged marks the
+	// receiver's adoption of the sender as its settle-parent; NewCount
+	// then carries the number of nodes settled in the receiver's
+	// engagement subtree this strip.
+	MsgExpAck struct {
+		Engaged  bool
+		NewCount int64
+	}
+	// MsgAdvance settles the previous strip and starts strip S; it
+	// travels down the tree and the engagement edges.
+	MsgAdvance struct{ S int64 }
+	// MsgQuiet reports strip S quiescence up the tree; Settled counts
+	// the subtree's newly settled nodes.
+	MsgQuiet struct {
+		S       int64
+		Settled int64
+	}
+)
+
+// recurNode is the per-node state of the strip algorithm.
+type recurNode struct {
+	src      graph.NodeID
+	stripLen int64
+	n        int64
+
+	// Outputs.
+	Settled bool
+	Dist    int64
+	Parent  graph.NodeID // SPT parent (label giver)
+
+	strip     int64
+	tentative int64
+	hasTent   bool
+	curBest   graph.NodeID          // label giver: SPT parent candidate
+	explored  map[graph.NodeID]bool // explorations scheduled at settle time
+
+	endParent    graph.NodeID // first engager: delivers MsgAdvance
+	curActivator graph.NodeID // ack deferred to it until quiet
+	endAckSent   bool
+	deficit      int
+	newCount     int64 // settled nodes accumulated from engaged acks
+
+	tparent    graph.NodeID
+	tchildren  []graph.NodeID
+	dsChildren []graph.NodeID
+
+	childQuiet   map[int64]int
+	childSettled map[int64]int64
+	quietSent    map[int64]bool
+
+	// Source only.
+	settledTotal int64
+	done         bool
+}
+
+var _ sim.Process = (*recurNode)(nil)
+
+func (r *recurNode) stripOf(label int64) int64 {
+	// Strip s >= 1 covers labels in ((s-1)·ℓ, s·ℓ].
+	return (label + r.stripLen - 1) / r.stripLen
+}
+
+// Init settles the source and starts strip 1.
+func (r *recurNode) Init(ctx sim.Context) {
+	r.explored = make(map[graph.NodeID]bool)
+	r.childQuiet = make(map[int64]int)
+	r.childSettled = make(map[int64]int64)
+	r.quietSent = make(map[int64]bool)
+	r.endParent = -1
+	r.curActivator = -1
+	r.tparent = -1
+	r.Parent = -1
+	r.Dist = -1
+	if ctx.ID() != r.src {
+		return
+	}
+	r.Settled = true
+	r.Dist = 0
+	r.settledTotal = 1
+	r.advance(ctx, 1)
+}
+
+// advance moves a settled node into strip s: forward the advance,
+// adopt this strip's engagement children, and emit the explorations
+// scheduled for s.
+func (r *recurNode) advance(ctx sim.Context, s int64) {
+	r.strip = s
+	for _, c := range r.tchildren {
+		ctx.SendClass(c, MsgAdvance{S: s}, sim.ClassSync)
+	}
+	for _, c := range r.dsChildren {
+		ctx.SendClass(c, MsgAdvance{S: s}, sim.ClassSync)
+	}
+	r.tchildren = append(r.tchildren, r.dsChildren...)
+	r.dsChildren = nil
+	r.newCount = 0
+	for _, h := range ctx.Neighbors() {
+		if r.explored[h.To] {
+			continue
+		}
+		if r.stripOf(r.Dist+h.W) == s {
+			r.explored[h.To] = true
+			r.deficit++
+			ctx.Send(h.To, MsgExplore{Label: r.Dist + h.W})
+		}
+	}
+	r.checkQuiet(ctx)
+}
+
+// settle finalizes this node at the end of its strip.
+func (r *recurNode) settle(ctx sim.Context, s int64) {
+	r.Settled = true
+	r.Dist = r.tentative
+	r.Parent = r.curBest
+	r.tparent = r.endParent
+	r.advance(ctx, s)
+}
+
+// checkQuiet reports strip quiescence: at an engaged unsettled node by
+// acking its activator; at a settled tree node by converging up.
+func (r *recurNode) checkQuiet(ctx sim.Context) {
+	if r.deficit != 0 {
+		return
+	}
+	if !r.Settled {
+		if r.curActivator >= 0 {
+			engaged := !r.endAckSent && r.curActivator == r.endParent
+			count := int64(0)
+			if engaged {
+				r.endAckSent = true
+				count = 1 + r.newCount
+				r.newCount = 0
+			}
+			ctx.SendClass(r.curActivator, MsgExpAck{Engaged: engaged, NewCount: count}, sim.ClassAck)
+			r.curActivator = -1
+		}
+		return
+	}
+	s := r.strip
+	if r.quietSent[s] || r.childQuiet[s] != len(r.tchildren) {
+		return
+	}
+	r.quietSent[s] = true
+	subtree := r.newCount + r.childSettled[s]
+	if r.tparent >= 0 {
+		ctx.SendClass(r.tparent, MsgQuiet{S: s, Settled: subtree}, sim.ClassSync)
+		return
+	}
+	// Source: strip s is globally quiet.
+	if r.done {
+		return // the post-final advance needs no successor
+	}
+	r.settledTotal += subtree
+	if r.settledTotal >= r.n {
+		// One final advance settles the last strip's nodes.
+		r.done = true
+	}
+	r.advance(ctx, s+1)
+}
+
+// Handle processes exploration, ack, and strip control traffic.
+func (r *recurNode) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgExplore:
+		r.onExplore(ctx, from, msg)
+	case MsgExpAck:
+		r.deficit--
+		if msg.Engaged {
+			r.dsChildren = append(r.dsChildren, from)
+			r.newCount += msg.NewCount
+		}
+		r.checkQuiet(ctx)
+	case MsgAdvance:
+		if r.Settled {
+			r.advance(ctx, msg.S)
+			return
+		}
+		r.settle(ctx, msg.S)
+	case MsgQuiet:
+		r.childQuiet[msg.S]++
+		r.childSettled[msg.S] += msg.Settled
+		r.checkQuiet(ctx)
+	default:
+		panic(fmt.Sprintf("spt: recur got %T", m))
+	}
+}
+
+func (r *recurNode) onExplore(ctx sim.Context, from graph.NodeID, msg MsgExplore) {
+	if r.Settled {
+		ctx.SendClass(from, MsgExpAck{}, sim.ClassAck)
+		return
+	}
+	improved := !r.hasTent || msg.Label < r.tentative
+	if improved {
+		r.hasTent = true
+		r.tentative = msg.Label
+		r.curBest = from
+		// In-strip cascade: forward improved labels that stay within
+		// the current strip; heavier continuations wait until this
+		// node settles and schedules them by strip. Edges are not
+		// marked explored here: a further improvement re-forwards the
+		// better label, and the last (final) improvement leaves every
+		// in-strip neighbor with the correct label.
+		s := r.stripOf(msg.Label)
+		for _, h := range ctx.Neighbors() {
+			if h.To == from {
+				continue
+			}
+			label := r.tentative + h.W
+			if r.stripOf(label) == s {
+				r.deficit++
+				ctx.Send(h.To, MsgExplore{Label: label})
+			}
+		}
+	}
+	if r.curActivator == -1 {
+		if r.endParent == -1 {
+			r.endParent = from
+		}
+		r.curActivator = from
+		r.checkQuiet(ctx)
+		return
+	}
+	ctx.SendClass(from, MsgExpAck{}, sim.ClassAck)
+}

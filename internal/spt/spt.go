@@ -1,0 +1,128 @@
+package spt
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+	"costsense/internal/synch"
+)
+
+// Result is the outcome of a distributed SPT construction.
+type Result struct {
+	// Dist[v] is the weighted distance from the source.
+	Dist []int64
+	// Parent[v] is the SPT parent (-1 at the source).
+	Parent []graph.NodeID
+	Stats  *sim.Stats
+}
+
+// Tree converts the result into a rooted graph.Tree.
+func (r *Result) Tree(g *graph.Graph, src graph.NodeID) *graph.Tree {
+	return graph.NewTree(g, src, r.Parent)
+}
+
+// RunSPTSynch executes algorithm SPTsynch (§9.1): the synchronous SPT
+// flood under synchronizer γ_w with cluster parameter k.
+// Communication O(𝓔 + 𝓓·kn·log n), time O(𝓓·log_k n·log n).
+func RunSPTSynch(g *graph.Graph, src graph.NodeID, k int, opts ...sim.Option) (*Result, error) {
+	ecc := graph.Eccentricity(g, src)
+	if ecc == graph.Unreachable {
+		return nil, fmt.Errorf("spt: graph is disconnected")
+	}
+	procs := synch.NewSPTProcs(g, src)
+	ov, err := synch.RunGammaW(g, procs, ecc+1, k, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dist:   make([]int64, g.N()),
+		Parent: make([]graph.NodeID, g.N()),
+		Stats:  ov.Stats,
+	}
+	for v := range procs {
+		p := procs[v].(*synch.SPTSyncProc)
+		if p.Dist < 0 {
+			return nil, fmt.Errorf("spt: node %d unreached under SPTsynch", v)
+		}
+		res.Dist[v] = p.Dist
+		res.Parent[v] = p.Parent
+	}
+	return res, nil
+}
+
+// RunSPTRecur executes algorithm SPTrecur (§9.2, the strip method)
+// with strip depth stripLen >= 1. stripLen = 1 degenerates to the
+// fully layered DIJKSTRA algorithm; larger strips trade time for the
+// synchronization communication (𝓓/ℓ global rounds).
+func RunSPTRecur(g *graph.Graph, src graph.NodeID, stripLen int64, opts ...sim.Option) (*Result, error) {
+	if stripLen < 1 {
+		return nil, fmt.Errorf("spt: stripLen must be >= 1, got %d", stripLen)
+	}
+	if !g.Connected() {
+		return nil, fmt.Errorf("spt: graph is disconnected")
+	}
+	nodes := make([]*recurNode, g.N())
+	procs := make([]sim.Process, g.N())
+	for v := range procs {
+		nodes[v] = &recurNode{src: src, stripLen: stripLen, n: int64(g.N())}
+		procs[v] = nodes[v]
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Dist:   make([]int64, g.N()),
+		Parent: make([]graph.NodeID, g.N()),
+		Stats:  stats,
+	}
+	for v, nd := range nodes {
+		if !nd.Settled {
+			return nil, fmt.Errorf("spt: node %d never settled under SPTrecur", v)
+		}
+		res.Dist[v] = nd.Dist
+		res.Parent[v] = nd.Parent
+	}
+	return res, nil
+}
+
+// DefaultStripLen picks ℓ ≈ √𝓓, balancing the 𝓓²/ℓ synchronization
+// time against the ℓ-deep in-strip cascades.
+func DefaultStripLen(g *graph.Graph, src graph.NodeID) int64 {
+	ecc := graph.Eccentricity(g, src)
+	l := int64(1)
+	for l*l < ecc {
+		l++
+	}
+	return l
+}
+
+// RunSPTHybrid executes algorithm SPThybrid (§9.3): the source picks
+// the cheaper of SPTsynch and SPTrecur from the topology — free under
+// the paper's full-information model (§1.4.1) — and runs it. It
+// returns the result and the winner's name.
+func RunSPTHybrid(g *graph.Graph, src graph.NodeID, k int, opts ...sim.Option) (*Result, string, error) {
+	ecc := graph.Eccentricity(g, src)
+	if ecc == graph.Unreachable {
+		return nil, "", fmt.Errorf("spt: graph is disconnected")
+	}
+	n := int64(g.N())
+	ee := g.TotalWeight()
+	l := DefaultStripLen(g, src)
+	// Predicted communication, Fig. 4: SPTsynch pays 𝓔 + 𝓓·kn·log n;
+	// SPTrecur pays 𝓔 plus (𝓓/ℓ) tree-synchronization rounds of
+	// weight ≤ w(SPT) ≤ n𝓓 each.
+	log2n := int64(1)
+	for v := int64(2); v < n; v *= 2 {
+		log2n++
+	}
+	predSynch := ee + ecc*int64(k)*n*log2n
+	predRecur := ee + (ecc/l+1)*n*ecc/l
+	if predSynch <= predRecur {
+		res, err := RunSPTSynch(g, src, k, opts...)
+		return res, "synch", err
+	}
+	res, err := RunSPTRecur(g, src, l, opts...)
+	return res, "recur", err
+}

@@ -1,0 +1,340 @@
+package synch
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+	"costsense/internal/slt"
+)
+
+// Asynchronous synchronizer messages.
+type (
+	// MsgProto carries a protocol message with its send pulse; the
+	// receiver delivers it to the protocol at pulse Pulse + w(e).
+	MsgProto struct {
+		Pulse   int64
+		Payload sim.Message
+	}
+	// MsgAck acknowledges a MsgProto (safety detection, §4.1).
+	MsgAck struct{ Pulse int64 }
+	// MsgSafe announces "this node is safe w.r.t. pulse Pulse" (α: to
+	// all neighbors; β: convergecast up the tree).
+	MsgSafe struct{ Pulse int64 }
+	// MsgGo releases pulse Pulse (β: broadcast down the tree).
+	MsgGo struct{ Pulse int64 }
+)
+
+// Overhead reports the cost of a synchronized execution.
+type Overhead struct {
+	// Pulses is the number of protocol pulses executed (beyond Init).
+	Pulses int64
+	// Stats is the full run accounting; protocol traffic has class
+	// "proto", synchronizer traffic "sync", acknowledgments "ack".
+	Stats *sim.Stats
+	// CommPerPulse is C(ζ) of §1.4.3: synchronizer communication
+	// overhead per pulse (acks excluded, as in the paper).
+	CommPerPulse float64
+	// TimePerPulse is T(ζ): amortized time per pulse.
+	TimePerPulse float64
+}
+
+func overheadOf(stats *sim.Stats, pulses int64) *Overhead {
+	o := &Overhead{Pulses: pulses, Stats: stats}
+	if pulses > 0 {
+		o.CommPerPulse = float64(stats.CommOf(sim.ClassSync)) / float64(pulses)
+		o.TimePerPulse = float64(stats.FinishTime) / float64(pulses)
+	}
+	return o
+}
+
+// engine is the pulse machinery shared by the α and β wrappers: it
+// executes the wrapped synchronous protocol pulse by pulse, buffers
+// protocol messages until their weighted arrival pulse, and tracks
+// unacknowledged sends for safety detection.
+type engine struct {
+	inner       sim.SyncProcess
+	g           *graph.Graph
+	maxPulse    int64
+	pulse       int64 // next pulse to execute (0 executes Init)
+	inbox       map[int64][]sim.SyncMessage
+	pendingAcks int
+	innerHalted bool
+	sent        int
+}
+
+func newEngine(inner sim.SyncProcess, g *graph.Graph, maxPulse int64) engine {
+	return engine{
+		inner:    inner,
+		g:        g,
+		maxPulse: maxPulse,
+		inbox:    make(map[int64][]sim.SyncMessage),
+	}
+}
+
+// engineCtx is the SyncContext handed to the wrapped protocol.
+type engineCtx struct {
+	e   *engine
+	ctx sim.Context
+}
+
+var _ sim.SyncContext = (*engineCtx)(nil)
+
+func (c *engineCtx) ID() graph.NodeID    { return c.ctx.ID() }
+func (c *engineCtx) Graph() *graph.Graph { return c.e.g }
+func (c *engineCtx) Pulse() int64        { return c.e.pulse }
+func (c *engineCtx) Halt()               { c.e.innerHalted = true }
+
+func (c *engineCtx) Send(to graph.NodeID, m sim.Message) {
+	c.e.sent++
+	c.ctx.Send(to, MsgProto{Pulse: c.e.pulse, Payload: m})
+}
+
+// execute runs the next pulse and counts its sends as pending acks.
+func (e *engine) execute(ctx sim.Context) int64 {
+	t := e.pulse
+	e.sent = 0
+	if !e.innerHalted {
+		ec := &engineCtx{e: e, ctx: ctx}
+		if t == 0 {
+			e.inner.Init(ec)
+		} else {
+			e.inner.Pulse(ec, e.inbox[t])
+		}
+	}
+	delete(e.inbox, t)
+	e.pendingAcks += e.sent
+	e.pulse = t + 1
+	return t
+}
+
+// buffer stores an arrived protocol message for its due pulse and
+// acknowledges it.
+func (e *engine) buffer(ctx sim.Context, from graph.NodeID, m MsgProto) {
+	ctx.SendClass(from, MsgAck{Pulse: m.Pulse}, sim.ClassAck)
+	due := m.Pulse + e.g.Weight(from, ctx.ID())
+	if due < e.pulse {
+		panic(fmt.Sprintf("synch: node %d got pulse-%d message due at %d but already at %d",
+			ctx.ID(), m.Pulse, due, e.pulse))
+	}
+	e.inbox[due] = append(e.inbox[due], sim.SyncMessage{From: from, Payload: m.Payload})
+}
+
+// AlphaProc is synchronizer α (§4.1, [Awe85a]): after each pulse, once
+// all of this node's messages are acknowledged it announces safety to
+// every neighbor, and generates the next pulse when all neighbors have
+// announced safety. C(α) = O(𝓔) per pulse, T(α) = O(W).
+type AlphaProc struct {
+	engine
+	safeRecv  map[int64]int
+	announced map[int64]bool
+	advancing bool
+}
+
+var _ sim.Process = (*AlphaProc)(nil)
+
+// NewAlphaProc wraps one node's protocol under synchronizer α.
+func NewAlphaProc(inner sim.SyncProcess, g *graph.Graph, maxPulse int64) *AlphaProc {
+	return &AlphaProc{
+		engine:    newEngine(inner, g, maxPulse),
+		safeRecv:  make(map[int64]int),
+		announced: make(map[int64]bool),
+	}
+}
+
+// Init executes pulse 0.
+func (a *AlphaProc) Init(ctx sim.Context) {
+	a.execute(ctx)
+	a.checkSafe(ctx)
+}
+
+func (a *AlphaProc) checkSafe(ctx sim.Context) {
+	t := a.pulse - 1
+	if a.pendingAcks != 0 || a.announced[t] {
+		return
+	}
+	a.announced[t] = true
+	for _, h := range ctx.Neighbors() {
+		ctx.SendClass(h.To, MsgSafe{Pulse: t}, sim.ClassSync)
+	}
+	a.tryAdvance(ctx)
+}
+
+func (a *AlphaProc) tryAdvance(ctx sim.Context) {
+	if a.advancing {
+		return
+	}
+	a.advancing = true
+	defer func() { a.advancing = false }()
+	for a.pulse <= a.maxPulse {
+		t := a.pulse
+		if !a.announced[t-1] || a.safeRecv[t-1] != len(ctx.Neighbors()) {
+			return
+		}
+		a.execute(ctx)
+		a.checkSafe(ctx)
+		if a.pendingAcks != 0 {
+			return // resume from the ack handler
+		}
+	}
+}
+
+// Handle processes synchronizer traffic.
+func (a *AlphaProc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgProto:
+		a.buffer(ctx, from, msg)
+	case MsgAck:
+		a.pendingAcks--
+		a.checkSafe(ctx)
+	case MsgSafe:
+		a.safeRecv[msg.Pulse]++
+		a.tryAdvance(ctx)
+	default:
+		panic(fmt.Sprintf("synch: α got %T", m))
+	}
+}
+
+// BetaProc is synchronizer β (§4.1, [Awe85a]) run over a shallow-light
+// tree: safety converges up the tree to the leader, which broadcasts
+// the next pulse. C(β) = O(𝓥) per pulse, T(β) = O(𝓓) thanks to the
+// SLT (classic β over an MST would pay T = O(n𝓓)).
+type BetaProc struct {
+	engine
+	parent    graph.NodeID
+	children  []graph.NodeID
+	childSafe map[int64]int
+	goRecv    map[int64]bool
+	reported  map[int64]bool
+	advancing bool
+}
+
+var _ sim.Process = (*BetaProc)(nil)
+
+// NewBetaProc wraps one node's protocol under synchronizer β with the
+// given tree wiring.
+func NewBetaProc(inner sim.SyncProcess, g *graph.Graph, maxPulse int64, parent graph.NodeID, children []graph.NodeID) *BetaProc {
+	return &BetaProc{
+		engine:    newEngine(inner, g, maxPulse),
+		parent:    parent,
+		children:  children,
+		childSafe: make(map[int64]int),
+		goRecv:    make(map[int64]bool),
+		reported:  make(map[int64]bool),
+	}
+}
+
+// Init executes pulse 0.
+func (b *BetaProc) Init(ctx sim.Context) {
+	b.execute(ctx)
+	b.checkSafe(ctx)
+}
+
+func (b *BetaProc) checkSafe(ctx sim.Context) {
+	t := b.pulse - 1
+	if b.pendingAcks != 0 || b.reported[t] || b.childSafe[t] != len(b.children) {
+		return
+	}
+	b.reported[t] = true
+	if b.parent >= 0 {
+		ctx.SendClass(b.parent, MsgSafe{Pulse: t}, sim.ClassSync)
+		return
+	}
+	// Leader: the whole tree is safe w.r.t. t; release pulse t+1.
+	b.release(ctx, t+1)
+}
+
+func (b *BetaProc) release(ctx sim.Context, t int64) {
+	b.goRecv[t] = true
+	for _, c := range b.children {
+		ctx.SendClass(c, MsgGo{Pulse: t}, sim.ClassSync)
+	}
+	b.tryAdvance(ctx)
+}
+
+func (b *BetaProc) tryAdvance(ctx sim.Context) {
+	if b.advancing {
+		return
+	}
+	b.advancing = true
+	defer func() { b.advancing = false }()
+	for b.pulse <= b.maxPulse && b.goRecv[b.pulse] {
+		b.execute(ctx)
+		b.checkSafe(ctx)
+		if b.pendingAcks != 0 {
+			return
+		}
+	}
+}
+
+// Handle processes synchronizer traffic.
+func (b *BetaProc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgProto:
+		b.buffer(ctx, from, msg)
+	case MsgAck:
+		b.pendingAcks--
+		b.checkSafe(ctx)
+	case MsgSafe:
+		b.childSafe[msg.Pulse]++
+		b.checkSafe(ctx)
+	case MsgGo:
+		b.release(ctx, msg.Pulse)
+	default:
+		panic(fmt.Sprintf("synch: β got %T", m))
+	}
+}
+
+// RunAlpha executes the weighted synchronous protocol under
+// synchronizer α for the given number of pulses.
+func RunAlpha(g *graph.Graph, procs []sim.SyncProcess, pulses int64, opts ...sim.Option) (*Overhead, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("synch: %d processes for %d vertices", len(procs), g.N())
+	}
+	ps := make([]sim.Process, g.N())
+	for v := range ps {
+		ps[v] = NewAlphaProc(procs[v], g, pulses)
+	}
+	stats, err := sim.Run(g, ps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return overheadOf(stats, pulses), nil
+}
+
+// RunBeta executes the protocol under synchronizer β over a
+// shallow-light tree rooted at the graph's center — the cost-sensitive
+// tree choice: C(β) = O(𝓥) per pulse AND T(β) = O(𝓓) per pulse
+// simultaneously. (β over an MST matches the communication but pays
+// T = O(Diam(MST)) = O(n𝓓); over an SPT it matches the time but pays
+// C = O(n𝓥). RunBetaTree exposes the choice for ablation.)
+func RunBeta(g *graph.Graph, procs []sim.SyncProcess, pulses int64, opts ...sim.Option) (*Overhead, error) {
+	_, center := graph.Radius(g)
+	if center < 0 {
+		return nil, fmt.Errorf("synch: graph is disconnected")
+	}
+	tree, _, err := slt.Build(g, center, 2)
+	if err != nil {
+		return nil, err
+	}
+	return RunBetaTree(g, procs, pulses, tree, opts...)
+}
+
+// RunBetaTree executes synchronizer β over an explicit spanning tree.
+func RunBetaTree(g *graph.Graph, procs []sim.SyncProcess, pulses int64, tree *graph.Tree, opts ...sim.Option) (*Overhead, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("synch: %d processes for %d vertices", len(procs), g.N())
+	}
+	if !tree.Spanning() {
+		return nil, fmt.Errorf("synch: β tree does not span")
+	}
+	ps := make([]sim.Process, g.N())
+	for v := range ps {
+		ps[v] = NewBetaProc(procs[v], g, pulses, tree.Parent[v], tree.Children(graph.NodeID(v)))
+	}
+	stats, err := sim.Run(g, ps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return overheadOf(stats, pulses), nil
+}

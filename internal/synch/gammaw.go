@@ -1,0 +1,432 @@
+package synch
+
+import (
+	"fmt"
+	"math/bits"
+
+	"costsense/internal/cover"
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Synchronizer γ_w (§4.2). The network is normalized (weights are
+// powers of two) and the protocol is in synch with it (sends on an
+// edge of weight 2^i occur only at pulses divisible by 2^i — both
+// ensured by the Lemma 4.5 transformation). The edge set is split into
+// levels: level i holds the edges of weight exactly 2^i, so each
+// message is gated by exactly one level — an equivalent, simpler
+// reading of the paper's divisibility formulation. A γ synchronizer
+// instance runs per level over a cluster partition of that level's
+// subgraph; pulse τ is executed once every level i with 2^i | τ has
+// released super-pulse τ/2^i.
+//
+// Each level-i super-pulse runs the two phases of γ [Awe85a]:
+//
+//	phase 1: safety convergecast to the cluster leader; the leader
+//	         broadcasts "cluster safe", which members relay over the
+//	         preferred edges to neighboring clusters;
+//	phase 2: once a member has its own cluster's safety and a
+//	         "neighbor safe" on every incident preferred edge, it
+//	         reports ready; when the leader has all reports it
+//	         releases the next super-pulse down the tree.
+
+// levelInfo is the static per-level structure shared by all nodes.
+type levelInfo struct {
+	level    int
+	weight   int64
+	member   []bool
+	parent   []graph.NodeID
+	children [][]graph.NodeID
+	prefNbrs [][]graph.NodeID
+}
+
+// buildLevels constructs the per-level partitions of ĝ. The γ
+// parameter k is the cluster growth factor: hop-radius O(log_k n),
+// per-pulse communication O(kn) per level.
+func buildLevels(ghat *graph.Graph, k int) []*levelInfo {
+	n := ghat.N()
+	byLevel := make(map[int][]graph.Edge)
+	for _, e := range ghat.Edges() {
+		lvl := bits.TrailingZeros64(uint64(e.W))
+		byLevel[lvl] = append(byLevel[lvl], e)
+	}
+	var levels []*levelInfo
+	for lvl := 0; lvl < 63; lvl++ {
+		edges, ok := byLevel[lvl]
+		if !ok {
+			continue
+		}
+		want := make(map[[2]graph.NodeID]bool, len(edges))
+		for _, e := range edges {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			want[[2]graph.NodeID{u, v}] = true
+		}
+		sub := ghat.Subgraph(func(e graph.Edge) bool {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			return want[[2]graph.NodeID{u, v}] && e.W == int64(1)<<lvl
+		})
+		factor := k
+		if factor < 2 {
+			factor = 2
+		}
+		part := cover.NewPartitionGrowth(sub, factor)
+		li := &levelInfo{
+			level:    lvl,
+			weight:   int64(1) << lvl,
+			member:   make([]bool, n),
+			parent:   make([]graph.NodeID, n),
+			children: make([][]graph.NodeID, n),
+			prefNbrs: make([][]graph.NodeID, n),
+		}
+		for v := range li.parent {
+			li.parent[v] = -1
+		}
+		for v := 0; v < n; v++ {
+			if sub.Degree(graph.NodeID(v)) > 0 {
+				li.member[v] = true
+			}
+		}
+		for _, tr := range part.Trees {
+			for _, v := range tr.Members() {
+				if !li.member[v] {
+					continue // singleton cluster of a non-member vertex
+				}
+				if p := tr.Parent[v]; p >= 0 {
+					li.parent[v] = p
+					li.children[p] = append(li.children[p], v)
+				}
+			}
+		}
+		for _, pe := range part.Preferred {
+			// Keep only preferred edges between member vertices (the
+			// partition covers all of V; isolated vertices form
+			// singleton clusters with no incident level edges).
+			if li.member[pe.U] && li.member[pe.V] {
+				li.prefNbrs[pe.U] = append(li.prefNbrs[pe.U], pe.V)
+				li.prefNbrs[pe.V] = append(li.prefNbrs[pe.V], pe.U)
+			}
+		}
+		levels = append(levels, li)
+	}
+	return levels
+}
+
+// γ_w control message kinds.
+const (
+	gwSafeUp byte = iota + 1
+	gwClusterSafe
+	gwNbrSafe
+	gwReadyUp
+	gwGo
+)
+
+// MsgGamma is a γ_w control message for one level's super-pulse P.
+type MsgGamma struct {
+	Level int
+	Kind  byte
+	P     int64
+}
+
+// levelState is one node's dynamic state in one level's γ instance.
+type levelState struct {
+	info        *levelInfo
+	pendingAcks map[int64]int
+	executed    map[int64]bool // node has executed pulse P·2^i
+	ownSafe     map[int64]bool
+	sentSafeUp  map[int64]bool
+	childSafe   map[int64]int
+	clusterSafe map[int64]bool
+	nbrSafe     map[int64]int
+	childReady  map[int64]int
+	sentReady   map[int64]bool
+	released    map[int64]bool // GO received for super-pulse P
+}
+
+func newLevelState(info *levelInfo) *levelState {
+	return &levelState{
+		info:        info,
+		pendingAcks: make(map[int64]int),
+		executed:    make(map[int64]bool),
+		ownSafe:     make(map[int64]bool),
+		sentSafeUp:  make(map[int64]bool),
+		childSafe:   make(map[int64]int),
+		clusterSafe: make(map[int64]bool),
+		nbrSafe:     make(map[int64]int),
+		childReady:  make(map[int64]int),
+		sentReady:   make(map[int64]bool),
+		released:    make(map[int64]bool),
+	}
+}
+
+// GammaWProc is the per-node γ_w wrapper.
+type GammaWProc struct {
+	inner     sim.SyncProcess // the in-synch transformed protocol
+	ghat      *graph.Graph
+	maxPulse  int64
+	pulse     int64
+	inbox     map[int64][]sim.SyncMessage
+	levels    []*levelState // states for levels this node belongs to
+	sentByLvl map[int]int   // sends of the current pulse per level
+	advancing bool
+}
+
+var _ sim.Process = (*GammaWProc)(nil)
+
+// gwCtx is the SyncContext handed to the in-synch protocol.
+type gwCtx struct {
+	p   *GammaWProc
+	ctx sim.Context
+}
+
+var _ sim.SyncContext = (*gwCtx)(nil)
+
+func (c *gwCtx) ID() graph.NodeID    { return c.ctx.ID() }
+func (c *gwCtx) Graph() *graph.Graph { return c.p.ghat }
+func (c *gwCtx) Pulse() int64        { return c.p.pulse }
+func (c *gwCtx) Halt()               {}
+
+func (c *gwCtx) Send(to graph.NodeID, m sim.Message) {
+	w := c.p.ghat.Weight(c.ctx.ID(), to)
+	if c.p.pulse%w != 0 {
+		panic(fmt.Sprintf("synch: γ_w protocol not in synch: send at pulse %d on weight-%d edge", c.p.pulse, w))
+	}
+	lvl := bits.TrailingZeros64(uint64(w))
+	c.p.sentByLvl[lvl]++
+	c.ctx.Send(to, MsgProto{Pulse: c.p.pulse, Payload: m})
+}
+
+func (p *GammaWProc) levelState(lvl int) *levelState {
+	for _, ls := range p.levels {
+		if ls.info.level == lvl {
+			return ls
+		}
+	}
+	return nil
+}
+
+// Init executes pulse 0 and opens the level-0 safety rounds.
+func (p *GammaWProc) Init(ctx sim.Context) {
+	p.execute(ctx)
+	p.tryAdvance(ctx)
+}
+
+// canExecute reports whether every gating level released this pulse.
+func (p *GammaWProc) canExecute() bool {
+	t := p.pulse
+	for _, ls := range p.levels {
+		w := ls.info.weight
+		if t%w != 0 {
+			continue
+		}
+		if pp := t / w; pp > 0 && !ls.released[pp] {
+			return false
+		}
+	}
+	return true
+}
+
+// execute runs pulse p.pulse and starts the safety rounds of the
+// levels it belongs to.
+func (p *GammaWProc) execute(ctx sim.Context) {
+	t := p.pulse
+	p.sentByLvl = make(map[int]int)
+	if t == 0 {
+		p.inner.Init(&gwCtx{p: p, ctx: ctx})
+	} else {
+		p.inner.Pulse(&gwCtx{p: p, ctx: ctx}, p.inbox[t])
+	}
+	delete(p.inbox, t)
+	for _, ls := range p.levels {
+		w := ls.info.weight
+		if t%w != 0 {
+			continue
+		}
+		pp := t / w
+		ls.executed[pp] = true
+		ls.pendingAcks[pp] += p.sentByLvl[ls.info.level]
+		p.maybeOwnSafe(ctx, ls, pp)
+	}
+	p.pulse = t + 1
+}
+
+func (p *GammaWProc) tryAdvance(ctx sim.Context) {
+	if p.advancing {
+		return
+	}
+	p.advancing = true
+	defer func() { p.advancing = false }()
+	for p.pulse <= p.maxPulse && p.canExecute() {
+		p.execute(ctx)
+	}
+}
+
+func (p *GammaWProc) maybeOwnSafe(ctx sim.Context, ls *levelState, pp int64) {
+	if !ls.executed[pp] || ls.pendingAcks[pp] != 0 || ls.ownSafe[pp] {
+		return
+	}
+	ls.ownSafe[pp] = true
+	p.maybeSafeUp(ctx, ls, pp)
+}
+
+func (p *GammaWProc) send(ctx sim.Context, to graph.NodeID, lvl int, kind byte, pp int64) {
+	ctx.SendClass(to, MsgGamma{Level: lvl, Kind: kind, P: pp}, sim.ClassSync)
+}
+
+// maybeSafeUp runs phase 1: convergecast safety to the cluster leader.
+func (p *GammaWProc) maybeSafeUp(ctx sim.Context, ls *levelState, pp int64) {
+	me := int(ctx.ID())
+	if !ls.ownSafe[pp] || ls.sentSafeUp[pp] || ls.childSafe[pp] != len(ls.info.children[me]) {
+		return
+	}
+	ls.sentSafeUp[pp] = true
+	if par := ls.info.parent[me]; par >= 0 {
+		p.send(ctx, par, ls.info.level, gwSafeUp, pp)
+		return
+	}
+	// Cluster leader: the cluster is safe.
+	p.onClusterSafe(ctx, ls, pp)
+}
+
+// onClusterSafe broadcasts cluster safety down the tree and over the
+// preferred edges, then enters phase 2.
+func (p *GammaWProc) onClusterSafe(ctx sim.Context, ls *levelState, pp int64) {
+	if ls.clusterSafe[pp] {
+		return
+	}
+	ls.clusterSafe[pp] = true
+	me := int(ctx.ID())
+	for _, c := range ls.info.children[me] {
+		p.send(ctx, c, ls.info.level, gwClusterSafe, pp)
+	}
+	for _, nb := range ls.info.prefNbrs[me] {
+		p.send(ctx, nb, ls.info.level, gwNbrSafe, pp)
+	}
+	p.maybeReady(ctx, ls, pp)
+}
+
+// maybeReady runs phase 2: once the node has its own cluster's safety,
+// a neighbor-safe on every incident preferred edge, and its children's
+// readiness, it reports up; the leader releases the next super-pulse.
+func (p *GammaWProc) maybeReady(ctx sim.Context, ls *levelState, pp int64) {
+	me := int(ctx.ID())
+	if !ls.clusterSafe[pp] || ls.sentReady[pp] {
+		return
+	}
+	if ls.nbrSafe[pp] != len(ls.info.prefNbrs[me]) || ls.childReady[pp] != len(ls.info.children[me]) {
+		return
+	}
+	ls.sentReady[pp] = true
+	if par := ls.info.parent[me]; par >= 0 {
+		p.send(ctx, par, ls.info.level, gwReadyUp, pp)
+		return
+	}
+	p.release(ctx, ls, pp+1)
+}
+
+func (p *GammaWProc) release(ctx sim.Context, ls *levelState, pp int64) {
+	if ls.released[pp] {
+		return
+	}
+	ls.released[pp] = true
+	me := int(ctx.ID())
+	for _, c := range ls.info.children[me] {
+		p.send(ctx, c, ls.info.level, gwGo, pp)
+	}
+	p.tryAdvance(ctx)
+}
+
+// Handle processes protocol, ack and γ control traffic.
+func (p *GammaWProc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgProto:
+		ctx.SendClass(from, MsgAck{Pulse: msg.Pulse}, sim.ClassAck)
+		w := p.ghat.Weight(from, ctx.ID())
+		due := msg.Pulse + w
+		if due < p.pulse {
+			panic(fmt.Sprintf("synch: γ_w late delivery at node %d: due %d < pulse %d", ctx.ID(), due, p.pulse))
+		}
+		p.inbox[due] = append(p.inbox[due], sim.SyncMessage{From: from, Payload: msg.Payload})
+	case MsgAck:
+		w := p.ghat.Weight(from, ctx.ID())
+		lvl := bits.TrailingZeros64(uint64(w))
+		ls := p.levelState(lvl)
+		pp := msg.Pulse / w
+		ls.pendingAcks[pp]--
+		p.maybeOwnSafe(ctx, ls, pp)
+	case MsgGamma:
+		ls := p.levelState(msg.Level)
+		if ls == nil {
+			panic(fmt.Sprintf("synch: node %d got γ message for foreign level %d", ctx.ID(), msg.Level))
+		}
+		switch msg.Kind {
+		case gwSafeUp:
+			ls.childSafe[msg.P]++
+			p.maybeSafeUp(ctx, ls, msg.P)
+		case gwClusterSafe:
+			p.onClusterSafe(ctx, ls, msg.P)
+		case gwNbrSafe:
+			ls.nbrSafe[msg.P]++
+			p.maybeReady(ctx, ls, msg.P)
+		case gwReadyUp:
+			ls.childReady[msg.P]++
+			p.maybeReady(ctx, ls, msg.P)
+		case gwGo:
+			me := int(ctx.ID())
+			for _, c := range ls.info.children[me] {
+				p.send(ctx, c, ls.info.level, gwGo, msg.P)
+			}
+			ls.released[msg.P] = true
+			p.tryAdvance(ctx)
+		}
+	default:
+		panic(fmt.Sprintf("synch: γ_w got %T", m))
+	}
+}
+
+// RunGammaW executes a weighted synchronous protocol under
+// synchronizer γ_w with cluster parameter k: the network is
+// normalized, the protocol passed through the Lemma 4.5
+// transformation, and the result driven on the asynchronous simulator.
+// innerPulses is the pulse horizon of the original protocol (e.g. the
+// pulse count of its reference SyncRun); the transformed run executes
+// 4·innerPulses+4 normalized pulses.
+func RunGammaW(g *graph.Graph, procs []sim.SyncProcess, innerPulses int64, k int, opts ...sim.Option) (*Overhead, error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("synch: %d processes for %d vertices", len(procs), g.N())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("synch: k must be >= 1, got %d", k)
+	}
+	ghat := NormalizeGraph(g)
+	infos := buildLevels(ghat, k)
+	outer := 4*innerPulses + 4
+
+	ps := make([]sim.Process, g.N())
+	for v := range ps {
+		var states []*levelState
+		for _, li := range infos {
+			if li.member[v] {
+				states = append(states, newLevelState(li))
+			}
+		}
+		ps[v] = &GammaWProc{
+			inner:    NewInSynch(procs[v], g),
+			ghat:     ghat,
+			maxPulse: outer,
+			inbox:    make(map[int64][]sim.SyncMessage),
+			levels:   states,
+		}
+	}
+	stats, err := sim.Run(ghat, ps, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Overhead is reported per original-protocol pulse.
+	return overheadOf(stats, innerPulses), nil
+}

@@ -1,0 +1,73 @@
+package synch
+
+import (
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// MaxFindProc is a second synchronizer workload: every node floods the
+// largest identifier it has seen, improving and re-forwarding as
+// better candidates arrive (a synchronous leader-election wave). A
+// node halts at the horizon pulse, which any upper bound on 𝓓
+// satisfies — by then the global maximum has reached everyone, since a
+// candidate travels one weighted unit per pulse in the weighted
+// synchronous semantics.
+//
+// Unlike SPTSyncProc (one wave from one source), every node sends in
+// pulse 0 and improvements cascade from many directions, exercising
+// the synchronizers under concurrent multi-source traffic.
+type MaxFindProc struct {
+	// Horizon is the pulse at which the node halts.
+	Horizon int64
+	// MaxSeen is the largest ID observed; n-1 everywhere on success.
+	MaxSeen graph.NodeID
+}
+
+var _ sim.SyncProcess = (*MaxFindProc)(nil)
+
+// Init floods this node's own ID.
+func (p *MaxFindProc) Init(ctx sim.SyncContext) {
+	p.MaxSeen = ctx.ID()
+	for _, h := range ctx.Graph().Adj(ctx.ID()) {
+		ctx.Send(h.To, int64(ctx.ID()))
+	}
+}
+
+// Pulse merges candidates and forwards improvements.
+func (p *MaxFindProc) Pulse(ctx sim.SyncContext, inbox []sim.SyncMessage) {
+	best := p.MaxSeen
+	for _, m := range inbox {
+		if id, ok := m.Payload.(int64); ok && graph.NodeID(id) > best {
+			best = graph.NodeID(id)
+		}
+	}
+	if best > p.MaxSeen {
+		p.MaxSeen = best
+		for _, h := range ctx.Graph().Adj(ctx.ID()) {
+			ctx.Send(h.To, int64(best))
+		}
+	}
+	if ctx.Pulse() >= p.Horizon {
+		ctx.Halt()
+	}
+}
+
+// NewMaxFindProcs builds one MaxFindProc per vertex with a horizon of
+// the graph diameter plus slack.
+func NewMaxFindProcs(g *graph.Graph) []sim.SyncProcess {
+	horizon := graph.Diameter(g) + 1
+	procs := make([]sim.SyncProcess, g.N())
+	for v := range procs {
+		procs[v] = &MaxFindProc{Horizon: horizon}
+	}
+	return procs
+}
+
+// MaxSeenOf extracts the MaxSeen fields.
+func MaxSeenOf(procs []sim.SyncProcess) []graph.NodeID {
+	out := make([]graph.NodeID, len(procs))
+	for v := range procs {
+		out[v] = procs[v].(*MaxFindProc).MaxSeen
+	}
+	return out
+}

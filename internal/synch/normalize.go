@@ -1,0 +1,169 @@
+// Package synch implements the network synchronizers of §4: protocol
+// transformers that execute a protocol written for the *weighted
+// synchronous* network (edge e delivers in exactly w(e) pulses) on the
+// *weighted asynchronous* network, with bounded per-pulse overhead:
+//
+//	α — per-pulse safety exchange with every neighbor:
+//	    C(α) = O(𝓔) per pulse, T(α) = O(W);
+//	β — per-pulse convergecast/broadcast on a (shallow-light) tree:
+//	    C(β) = O(𝓥), T(β) = O(𝓓);
+//	γ_w — the paper's weighted synchronizer (§4.2): weights normalized
+//	    to powers of two (Lemma 4.5), one γ instance per weight level
+//	    2^i, pulses divisible by 2^i gated by level i:
+//	    C(γ_w) = O(k·n·log W) per pulse, T(γ_w) = O(log_k n·log W).
+package synch
+
+import (
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Power returns power(w) = 2^ceil(log2 w), the smallest power of two
+// >= w (Def 4.6). Note w <= power(w) < 2w.
+func Power(w int64) int64 {
+	p := int64(1)
+	for p < w {
+		p <<= 1
+	}
+	return p
+}
+
+// NextMultiple returns next_w(t): the first time >= t divisible by w
+// (Def 4.7 — the paper states "after t", but its own bound
+// t <= next_w(t) <= t+(w-1) makes divisible t its own successor).
+func NextMultiple(t, w int64) int64 {
+	if r := t % w; r != 0 {
+		return t + w - r
+	}
+	return t
+}
+
+// NormalizeGraph returns Ĝ: g with every weight rounded up to a power
+// of two (Def 4.3). Complexities grow by at most 2x (Lemma 4.5(4)).
+func NormalizeGraph(g *graph.Graph) *graph.Graph {
+	b := graph.NewBuilder(g.N())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, Power(e.W))
+	}
+	return b.MustBuild()
+}
+
+// wrapMsg carries an inner protocol message across the normalized
+// network, tagged with its inner send pulse so the receiver can delay
+// processing to the correct inner arrival pulse (Step 1 of Lemma 4.5:
+// arrivals may precede processing times; the message waits in a
+// buffer).
+type wrapMsg struct {
+	InnerPulse int64
+	Payload    sim.Message
+}
+
+type pendingSend struct {
+	to graph.NodeID
+	m  wrapMsg
+}
+
+// InSynchProc is the protocol transformation of Lemma 4.5: it runs an
+// arbitrary weighted-synchronous protocol π on the normalized network
+// Ĝ such that the combined protocol π” is "in synch" with Ĝ
+// (Def 4.2: edge e carries messages only at pulses divisible by ŵ(e)).
+//
+//   - inner pulse t executes at outer pulse 4t (slowdown 4, Step 1);
+//   - an inner send at pulse t on edge e is transmitted at outer pulse
+//     next_{ŵ(e)}(4t) (Step 3), arriving ŵ(e) outer pulses later — in
+//     all cases before outer pulse 4(t + w(e)), where it is processed
+//     (Step 2).
+type InSynchProc struct {
+	Inner sim.SyncProcess
+	// Orig is the original (pre-normalization) graph; processing times
+	// follow its weights.
+	Orig *graph.Graph
+
+	outDue      map[int64][]pendingSend
+	inDue       map[int64][]sim.SyncMessage
+	innerHalted bool
+	lastWork    int64 // last outer pulse with scheduled activity
+}
+
+var _ sim.SyncProcess = (*InSynchProc)(nil)
+
+// NewInSynch wraps one node's protocol.
+func NewInSynch(inner sim.SyncProcess, orig *graph.Graph) *InSynchProc {
+	return &InSynchProc{
+		Inner:  inner,
+		Orig:   orig,
+		outDue: make(map[int64][]pendingSend),
+		inDue:  make(map[int64][]sim.SyncMessage),
+	}
+}
+
+// innerCtx adapts the outer synchronous context for the inner protocol.
+type innerCtx struct {
+	p          *InSynchProc
+	outer      sim.SyncContext
+	innerPulse int64
+}
+
+var _ sim.SyncContext = (*innerCtx)(nil)
+
+func (c *innerCtx) ID() graph.NodeID    { return c.outer.ID() }
+func (c *innerCtx) Graph() *graph.Graph { return c.p.Orig }
+func (c *innerCtx) Pulse() int64        { return c.innerPulse }
+
+func (c *innerCtx) Send(to graph.NodeID, m sim.Message) {
+	wHat := c.outer.Graph().Weight(c.outer.ID(), to)
+	at := NextMultiple(4*c.innerPulse, wHat)
+	c.p.outDue[at] = append(c.p.outDue[at], pendingSend{
+		to: to,
+		m:  wrapMsg{InnerPulse: c.innerPulse, Payload: m},
+	})
+	if due := at + wHat; due > c.p.lastWork {
+		c.p.lastWork = due
+	}
+	// The inner processing happens at outer pulse 4(t + w_orig).
+	if due := 4 * (c.innerPulse + c.p.Orig.Weight(c.outer.ID(), to)); due > c.p.lastWork {
+		c.p.lastWork = due
+	}
+}
+
+func (c *innerCtx) Halt() { c.p.innerHalted = true }
+
+// Init runs the inner Init at inner pulse 0 and flushes pulse-0 sends.
+func (p *InSynchProc) Init(ctx sim.SyncContext) {
+	p.Inner.Init(&innerCtx{p: p, outer: ctx, innerPulse: 0})
+	p.flush(ctx, 0)
+}
+
+// flush emits the sends scheduled for outer pulse tau.
+func (p *InSynchProc) flush(ctx sim.SyncContext, tau int64) {
+	for _, s := range p.outDue[tau] {
+		ctx.Send(s.to, s.m)
+	}
+	delete(p.outDue, tau)
+}
+
+// Pulse advances the outer clock: buffer arrivals, emit scheduled
+// sends, and run the inner protocol on multiples of four.
+func (p *InSynchProc) Pulse(ctx sim.SyncContext, inbox []sim.SyncMessage) {
+	tau := ctx.Pulse()
+	for _, msg := range inbox {
+		wm, ok := msg.Payload.(wrapMsg)
+		if !ok {
+			continue // foreign traffic is not ours to interpret
+		}
+		innerDue := wm.InnerPulse + p.Orig.Weight(msg.From, ctx.ID())
+		p.inDue[innerDue] = append(p.inDue[innerDue], sim.SyncMessage{From: msg.From, Payload: wm.Payload})
+		if due := 4 * innerDue; due > p.lastWork {
+			p.lastWork = due
+		}
+	}
+	if tau%4 == 0 && tau > 0 && !p.innerHalted {
+		t := tau / 4
+		p.Inner.Pulse(&innerCtx{p: p, outer: ctx, innerPulse: t}, p.inDue[t])
+		delete(p.inDue, t)
+	}
+	p.flush(ctx, tau)
+	if p.innerHalted && tau >= p.lastWork {
+		ctx.Halt()
+	}
+}

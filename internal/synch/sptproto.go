@@ -1,0 +1,77 @@
+package synch
+
+import (
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// SPTSyncProc is the synchronous SPT algorithm of §9.1, written for
+// the weighted synchronous network: the source floods a token at pulse
+// 0, and because edge e delivers in exactly w(e) pulses, the first
+// arrival at a node happens precisely at its weighted distance from
+// the source. Time O(𝓓), communication O(𝓔).
+//
+// It doubles as the conformance workload for the synchronizers: its
+// outputs (Dist, Parent) must be identical under SyncRun, α, β and
+// γ_w.
+type SPTSyncProc struct {
+	Source graph.NodeID
+	// Dist is the settled distance (-1 until reached).
+	Dist int64
+	// Parent is the tree parent (-1 at the source).
+	Parent graph.NodeID
+}
+
+var _ sim.SyncProcess = (*SPTSyncProc)(nil)
+
+// Init floods from the source.
+func (s *SPTSyncProc) Init(ctx sim.SyncContext) {
+	s.Dist = -1
+	s.Parent = -1
+	if ctx.ID() != s.Source {
+		return
+	}
+	s.Dist = 0
+	for _, h := range ctx.Graph().Adj(ctx.ID()) {
+		ctx.Send(h.To, "spt")
+	}
+	ctx.Halt()
+}
+
+// Pulse settles on the first arrival and forwards the token.
+func (s *SPTSyncProc) Pulse(ctx sim.SyncContext, inbox []sim.SyncMessage) {
+	if s.Dist >= 0 || len(inbox) == 0 {
+		return
+	}
+	s.Dist = ctx.Pulse()
+	s.Parent = inbox[0].From
+	for _, m := range inbox[1:] {
+		if m.From < s.Parent {
+			s.Parent = m.From // deterministic tie-break
+		}
+	}
+	for _, h := range ctx.Graph().Adj(ctx.ID()) {
+		if h.To != s.Parent {
+			ctx.Send(h.To, "spt")
+		}
+	}
+	ctx.Halt()
+}
+
+// NewSPTProcs returns one SPTSyncProc per vertex.
+func NewSPTProcs(g *graph.Graph, source graph.NodeID) []sim.SyncProcess {
+	procs := make([]sim.SyncProcess, g.N())
+	for v := range procs {
+		procs[v] = &SPTSyncProc{Source: source}
+	}
+	return procs
+}
+
+// SPTDists extracts the Dist fields from a slice of SPTSyncProcs.
+func SPTDists(procs []sim.SyncProcess) []int64 {
+	out := make([]int64, len(procs))
+	for v := range procs {
+		out[v] = procs[v].(*SPTSyncProc).Dist
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+// Package term implements Dijkstra–Scholten termination detection
+// [DS80], the primitive the paper's controller model (§5) is built on
+// and the strip method (§9.2) uses per strip: a diffusing computation
+// starts at an initiator, and the initiator learns — by counting
+// acknowledgments over a dynamic engagement tree — the moment the
+// whole computation has gone quiet.
+//
+// The detector is a transparent wrapper: it forwards the inner
+// protocol's messages inside envelopes, acknowledges each envelope
+// once the activity it triggered has drained, and reports detection at
+// the initiator. Overhead: exactly one acknowledgment per protocol
+// message (communication at most doubles), zero extra latency on the
+// protocol's own paths.
+package term
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Detector messages.
+type (
+	// MsgWrapped carries one inner protocol message.
+	MsgWrapped struct{ Inner sim.Message }
+	// MsgAck acknowledges a MsgWrapped once its consequences drained.
+	MsgAck struct{}
+)
+
+// Proc wraps one node's process under the detector.
+type Proc struct {
+	Inner     sim.Process
+	Initiator graph.NodeID
+
+	// Detected is set at the initiator when global quiescence is
+	// established; DetectedAt is the simulation time of detection.
+	Detected   bool
+	DetectedAt int64
+
+	engager graph.NodeID // current engagement parent (-1 when passive)
+	deficit int          // sends not yet acknowledged
+	started bool
+}
+
+var _ sim.Process = (*Proc)(nil)
+
+// termCtx intercepts the inner protocol's sends.
+type termCtx struct {
+	p   *Proc
+	ctx sim.Context
+}
+
+var _ sim.Context = (*termCtx)(nil)
+
+func (c *termCtx) ID() graph.NodeID         { return c.ctx.ID() }
+func (c *termCtx) Now() int64               { return c.ctx.Now() }
+func (c *termCtx) Graph() *graph.Graph      { return c.ctx.Graph() }
+func (c *termCtx) Neighbors() []graph.Half  { return c.ctx.Neighbors() }
+func (c *termCtx) Record(k string, v int64) { c.ctx.Record(k, v) }
+
+func (c *termCtx) Send(to graph.NodeID, m sim.Message) {
+	c.p.deficit++
+	c.ctx.Send(to, MsgWrapped{Inner: m})
+}
+
+func (c *termCtx) SendClass(to graph.NodeID, m sim.Message, cl sim.Class) {
+	c.p.deficit++
+	c.ctx.SendClass(to, MsgWrapped{Inner: m}, cl)
+}
+
+// Init starts the inner protocol at the initiator.
+func (p *Proc) Init(ctx sim.Context) {
+	p.engager = -1
+	if ctx.ID() != p.Initiator {
+		return
+	}
+	p.started = true
+	p.Inner.Init(&termCtx{p: p, ctx: ctx})
+	p.checkPassive(ctx)
+}
+
+// checkPassive acknowledges the engagement once all triggered activity
+// drained; at the initiator it declares termination.
+func (p *Proc) checkPassive(ctx sim.Context) {
+	if p.deficit != 0 {
+		return
+	}
+	if p.engager >= 0 {
+		ctx.SendClass(p.engager, MsgAck{}, sim.ClassAck)
+		p.engager = -1
+		return
+	}
+	if ctx.ID() == p.Initiator && p.started && !p.Detected {
+		p.Detected = true
+		p.DetectedAt = ctx.Now()
+		ctx.Record("terminated", 1)
+	}
+}
+
+// Handle processes envelopes and acknowledgments.
+func (p *Proc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	switch msg := m.(type) {
+	case MsgWrapped:
+		engagedNow := false
+		if p.engager < 0 && ctx.ID() != p.Initiator {
+			p.engager = from
+			engagedNow = true
+		}
+		p.Inner.Handle(&termCtx{p: p, ctx: ctx}, from, msg.Inner)
+		if !engagedNow {
+			// Non-engaging message: acknowledge immediately; its
+			// consequences are charged to the current engagement.
+			ctx.SendClass(from, MsgAck{}, sim.ClassAck)
+		}
+		p.checkPassive(ctx)
+	case MsgAck:
+		p.deficit--
+		p.checkPassive(ctx)
+	default:
+		panic(fmt.Sprintf("term: got %T", m))
+	}
+}
+
+// Result summarizes a detected run.
+type Result struct {
+	Stats *sim.Stats
+	// Detected reports whether the initiator observed termination
+	// (false only if the run was cut short, e.g. by an event limit).
+	Detected bool
+	// DetectedAt is the simulation time of the detection event.
+	DetectedAt int64
+}
+
+// Run executes the inner processes under termination detection rooted
+// at the initiator.
+func Run(g *graph.Graph, inner []sim.Process, initiator graph.NodeID, opts ...sim.Option) (*Result, []*Proc, error) {
+	if len(inner) != g.N() {
+		return nil, nil, fmt.Errorf("term: %d processes for %d vertices", len(inner), g.N())
+	}
+	procs := make([]sim.Process, g.N())
+	det := make([]*Proc, g.N())
+	for v := range procs {
+		det[v] = &Proc{Inner: inner[v], Initiator: initiator}
+		procs[v] = det[v]
+	}
+	stats, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		return nil, det, err
+	}
+	return &Result{
+		Stats:      stats,
+		Detected:   det[initiator].Detected,
+		DetectedAt: det[initiator].DetectedAt,
+	}, det, nil
+}

@@ -1,0 +1,102 @@
+package costsense_test
+
+import (
+	"testing"
+
+	"costsense"
+)
+
+// Scale smoke tests: guard against accidental super-linear blowups in
+// the simulator and the flagship algorithms. Skipped under -short.
+
+func TestScaleFlood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := costsense.RandomConnected(2000, 8000, costsense.UniformWeights(64, 1), 1)
+	res, err := costsense.RunFlood(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, ok := range res.Reached {
+		if !ok {
+			t.Fatalf("node %d unreached at scale", v)
+		}
+	}
+	if res.Stats.Comm > 2*g.TotalWeight() {
+		t.Fatalf("flood comm %d > 2𝓔 at scale", res.Stats.Comm)
+	}
+}
+
+func TestScaleGHS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := costsense.RandomConnected(500, 2000, costsense.UniformWeights(128, 2), 2)
+	res, err := costsense.RunGHS(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight() != costsense.MSTWeight(g) {
+		t.Fatalf("GHS wrong at scale: %d vs %d", res.Weight(), costsense.MSTWeight(g))
+	}
+}
+
+func TestScaleSPTRecur(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := costsense.Grid(20, 20, costsense.UniformWeights(32, 3))
+	res, err := costsense.RunSPTRecur(g, 0, costsense.DefaultStripLen(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := costsense.Dijkstra(g, 0)
+	for v := range res.Dist {
+		if res.Dist[v] != want.Dist[v] {
+			t.Fatalf("SPTrecur wrong at scale at node %d", v)
+		}
+	}
+}
+
+func TestScaleGammaW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := costsense.RandomConnected(150, 400, costsense.UniformWeights(32, 4), 4)
+	procs := costsense.NewSPTSyncProcs(g, 0)
+	ecc := costsense.Dijkstra(g, 0)
+	var max int64
+	for _, d := range ecc.Dist {
+		if d > max {
+			max = d
+		}
+	}
+	if _, err := costsense.RunSynchGammaW(g, procs, max+2, 2); err != nil {
+		t.Fatal(err)
+	}
+	want := costsense.Dijkstra(g, 0)
+	got := costsense.SPTSyncDists(procs)
+	for v := range got {
+		if got[v] != want.Dist[v] {
+			t.Fatalf("γ_w wrong at scale at node %d", v)
+		}
+	}
+}
+
+func TestScaleClockGamma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	g := costsense.HeavyChordRing(256, 1_000_000)
+	res, err := costsense.RunClockGamma(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CausalOK(g); err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDelay() >= 1000 {
+		t.Fatalf("γ* delay %d should be tiny next to W=10⁶ at scale", res.MaxDelay())
+	}
+}
