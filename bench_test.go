@@ -362,6 +362,28 @@ func BenchmarkSimulator(b *testing.B) {
 	report(b, last)
 }
 
+// BenchmarkEngineFlood measures the event engine alone: flooding on a
+// large random network, reporting raw event throughput (events/sec) and
+// allocations per operation. This is the hot-path regression benchmark:
+// the whole workload is Send/queue/deliver, with a trivial process
+// automaton, so any per-event allocation or queue slowdown shows up
+// directly. BENCH_sim.json (see scripts/bench.sh) tracks it across PRs.
+func BenchmarkEngineFlood(b *testing.B) {
+	g := costsense.RandomConnected(5000, 40000, costsense.UniformWeights(64, 21), 21)
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := costsense.RunFlood(g, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Stats.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 func itoa(v int64) string {
 	if v == 0 {
 		return "0"

@@ -25,7 +25,8 @@ func expFig2(w *tabwriter.Writer) {
 		// middle ground
 		{"rand-40-150", costsense.RandomConnected(40, 150, costsense.UniformWeights(40, 3), 3)},
 	}
-	for _, c := range cases {
+	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+		c := cases[i]
 		g := c.g
 		ee := g.TotalWeight()
 		nv := int64(g.N()) * costsense.MSTWeight(g)
@@ -41,9 +42,12 @@ func expFig2(w *tabwriter.Writer) {
 		if mc.Stats.Comm < minStd {
 			minStd = mc.Stats.Comm
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+		return fmt.Sprintf("%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 			c.name, ee, nv, minB, fl.Stats.Comm, dfs.Stats.Comm, mc.Stats.Comm,
-			hy.Stats.Comm, ratio(hy.Stats.Comm, minStd), hy.Winner)
+			hy.Stats.Comm, ratio(hy.Stats.Comm, minStd), hy.Winner), nil
+	}))
+	for _, r := range rows {
+		fmt.Fprint(w, r)
 	}
 	fmt.Fprintln(w, "\npaper: DFS/flood = O(𝓔); CONhybrid = O(min{𝓔, n𝓥}) against the Ω(min{𝓔, n𝓥}) lower bound")
 }
@@ -51,11 +55,19 @@ func expFig2(w *tabwriter.Writer) {
 // expLowerBound reproduces §7.1 / Lemma 7.2: scaling on the G_n family.
 func expLowerBound(w *tabwriter.Writer) {
 	fmt.Fprintln(w, "n\tX\t𝓔 (≈nX⁴)\tn𝓥 (≈n²X)\tflood\tDFS\tMSTcentr\thybrid\tMSTcentr/n𝓥")
-	for _, n := range []int{12, 16, 24, 32, 48} {
-		rep := must(costsense.RunGnExperiment(n, int64(n)))
-		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+	sizes := []int{12, 16, 24, 32, 48}
+	rows := must(costsense.RunTrials(len(sizes), func(i int) (string, error) {
+		n := sizes[i]
+		rep, err := costsense.RunGnExperiment(n, int64(n))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
 			rep.N, rep.X, rep.E, rep.NV, rep.FloodComm, rep.DFSComm,
-			rep.MSTComm, rep.HybridComm, ratio(rep.MSTComm, rep.NV))
+			rep.MSTComm, rep.HybridComm, ratio(rep.MSTComm, rep.NV)), nil
+	}))
+	for _, r := range rows {
+		fmt.Fprint(w, r)
 	}
 	fmt.Fprintln(w, "\npaper: any algorithm needs Ω(n𝓥) = Ω(n²X) on G_n; edge-bound algorithms pay Θ(nX⁴)")
 	fmt.Fprintln(w, "expected scaling: MSTcentr/hybrid grow ~n³ (n²X with X=n); flood/DFS grow ~n⁵")

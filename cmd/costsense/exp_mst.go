@@ -21,7 +21,8 @@ func expFig3(w *tabwriter.Writer) {
 		{"Gn-20", costsense.HardConnectivity(20, 20)},
 		{"heavystar-32", heavyStar(32, 4096)},
 	}
-	for _, c := range cases {
+	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+		c := cases[i]
 		g := c.g
 		ee := g.TotalWeight()
 		vv := costsense.MSTWeight(g)
@@ -32,17 +33,20 @@ func expFig3(w *tabwriter.Writer) {
 		hy := must(costsense.RunMSTHybrid(g, 0))
 		// All four must find the same (unique up to ties) MST weight.
 		if ghs.Weight() != vv || fast.Weight() != vv || hy.Result.Weight() != vv {
-			panic(fmt.Sprintf("%s: MST weight mismatch", c.name))
+			return "", fmt.Errorf("%s: MST weight mismatch", c.name)
 		}
 		if centr.Tree(g, 0).Weight() != vv {
-			panic("centr weight mismatch")
+			return "", fmt.Errorf("%s: centr weight mismatch", c.name)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
+		return fmt.Sprintf("%s\t%d\t%d\t%d\t%s\t%d\t%s\t%d\t%d\t%d\t%d\t%s\n",
 			c.name, ee, vv,
 			ghs.Stats.Comm, ratio(ghs.Stats.Comm, ee+vv*logn),
 			centr.Stats.Comm, ratio(centr.Stats.Comm, int64(g.N())*vv),
 			fast.Stats.Comm, fast.Stats.FinishTime, ghs.Stats.FinishTime,
-			hy.Result.Stats.Comm, hy.Winner)
+			hy.Result.Stats.Comm, hy.Winner), nil
+	}))
+	for _, r := range rows {
+		fmt.Fprint(w, r)
 	}
 	fmt.Fprintln(w, "\npaper: ghs = O(𝓔+𝓥logn) comm; centr = O(n𝓥); fast trades comm (x log𝓥) for time;")
 	fmt.Fprintln(w, "hybrid = O(min{𝓔+𝓥logn, n𝓥}) — winner flips between sparse and G_n regimes")

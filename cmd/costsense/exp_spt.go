@@ -20,35 +20,48 @@ func expFig4(w *tabwriter.Writer) {
 		{"grid-6x6", costsense.Grid(6, 6, costsense.UniformWeights(16, 3))},
 		{"chord-32", costsense.HeavyChordRing(32, 64)},
 	}
-	for _, c := range cases {
+	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+		c := cases[i]
 		g := c.g
 		n := int64(g.N())
 		vv := costsense.MSTWeight(g)
 		want := costsense.Dijkstra(g, 0)
-		check := func(name string, dist []int64) {
+		check := func(name string, dist []int64) error {
 			for v := range dist {
 				if dist[v] != want.Dist[v] {
-					panic(fmt.Sprintf("%s/%s: Dist[%d] = %d, want %d", c.name, name, v, dist[v], want.Dist[v]))
+					return fmt.Errorf("%s/%s: Dist[%d] = %d, want %d", c.name, name, v, dist[v], want.Dist[v])
 				}
 			}
+			return nil
 		}
 		centr := must(costsense.RunSPTCentr(g, 0))
-		check("centr", centr.Dist)
+		if err := check("centr", centr.Dist); err != nil {
+			return "", err
+		}
 		recur := must(costsense.RunSPTRecur(g, 0, costsense.DefaultStripLen(g, 0)))
-		check("recur", recur.Dist)
+		if err := check("recur", recur.Dist); err != nil {
+			return "", err
+		}
 		synch := must(costsense.RunSPTSynch(g, 0, 2))
-		check("synch", synch.Dist)
+		if err := check("synch", synch.Dist); err != nil {
+			return "", err
+		}
 		hyRes, winner, err := costsense.RunSPTHybrid(g, 0, 2)
 		if err != nil {
-			panic(err)
+			return "", err
 		}
-		check("hybrid", hyRes.Dist)
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+		if err := check("hybrid", hyRes.Dist); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s\t%d\t%d\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
 			c.name, g.TotalWeight(), costsense.Diameter(g),
 			centr.Stats.Comm, ratio(centr.Stats.Comm, n*n*vv),
 			recur.Stats.Comm, recur.Stats.FinishTime,
 			synch.Stats.Comm, synch.Stats.FinishTime,
-			hyRes.Stats.Comm, winner)
+			hyRes.Stats.Comm, winner), nil
+	}))
+	for _, r := range rows {
+		fmt.Fprint(w, r)
 	}
 	fmt.Fprintln(w, "\npaper: centr = O(n²𝓥) comm; recur = O(𝓔^{1+ε}) comm / O(𝓓^{1+ε}) time;")
 	fmt.Fprintln(w, "synch = O(𝓔 + 𝓓kn·logn) comm / O(𝓓·log_k n·logn) time; hybrid takes the min")

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 	"text/tabwriter"
@@ -23,6 +24,35 @@ func TestExperimentsRunClean(t *testing.T) {
 			}
 			if !strings.Contains(out, "\t") && !strings.Contains(out, "  ") {
 				t.Fatalf("experiment %s produced no table", e.id)
+			}
+		})
+	}
+}
+
+// TestParallelDriversMatchSerial pins the RunTrials acceptance
+// criterion: the experiments that fan their cases across workers must
+// print byte-identical tables whether the pool has one worker or many.
+func TestParallelDriversMatchSerial(t *testing.T) {
+	parallelized := map[string]bool{"fig2": true, "fig3": true, "fig4": true, "lowerbound": true}
+	render := func(e experiment) string {
+		var buf bytes.Buffer
+		w := tabwriter.NewWriter(&buf, 2, 4, 2, ' ', 0)
+		e.run(w)
+		w.Flush()
+		return buf.String()
+	}
+	for _, e := range experiments() {
+		if !parallelized[e.id] {
+			continue
+		}
+		t.Run(e.id, func(t *testing.T) {
+			old := runtime.GOMAXPROCS(1)
+			serial := render(e)
+			runtime.GOMAXPROCS(4)
+			parallel := render(e)
+			runtime.GOMAXPROCS(old)
+			if serial != parallel {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
 			}
 		})
 	}

@@ -45,6 +45,7 @@ import (
 	"costsense/internal/cover"
 	"costsense/internal/gfunc"
 	"costsense/internal/graph"
+	"costsense/internal/harness"
 	"costsense/internal/mst"
 	"costsense/internal/route"
 	"costsense/internal/sim"
@@ -53,6 +54,17 @@ import (
 	"costsense/internal/synch"
 	"costsense/internal/term"
 )
+
+// RunTrials evaluates trial(0..n-1) — typically one (seed, protocol,
+// graph) simulation each — on a pool of min(GOMAXPROCS, n) workers and
+// returns the results in index order. Results and the reported error
+// (lowest failing index) are independent of scheduling, so parallel
+// experiment sweeps print byte-identical tables to serial ones. trial
+// must be safe for concurrent calls with distinct indices; note each
+// trial must build its own Network (Run is once-per-Network).
+func RunTrials[T any](n int, trial func(int) (T, error)) ([]T, error) {
+	return harness.RunIndexed(n, trial)
+}
 
 // Graph model (internal/graph).
 type (

@@ -1,6 +1,6 @@
 package graph
 
-import "container/heap"
+import "costsense/internal/pq"
 
 // Unreachable is the distance reported for vertices not connected to the
 // source.
@@ -19,23 +19,11 @@ type dijkItem struct {
 	dist int64
 }
 
-type dijkHeap []dijkItem
-
-func (h dijkHeap) Len() int      { return len(h) }
-func (h dijkHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h dijkHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
+func (x dijkItem) Less(y dijkItem) bool {
+	if x.dist != y.dist {
+		return x.dist < y.dist
 	}
-	return h[i].v < h[j].v
-}
-func (h *dijkHeap) Push(x any) { *h = append(*h, x.(dijkItem)) }
-func (h *dijkHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return x.v < y.v
 }
 
 // Dijkstra computes single-source shortest paths from s.
@@ -51,9 +39,10 @@ func Dijkstra(g *Graph, s NodeID) *ShortestPaths {
 		sp.Parent[i] = -1
 	}
 	sp.Dist[s] = 0
-	h := &dijkHeap{{v: s, dist: 0}}
+	h := pq.NewHeap[dijkItem](n)
+	h.Push(dijkItem{v: s, dist: 0})
 	for h.Len() > 0 {
-		it := heap.Pop(h).(dijkItem)
+		it := h.Pop()
 		if it.dist != sp.Dist[it.v] {
 			continue // stale entry
 		}
@@ -62,7 +51,7 @@ func Dijkstra(g *Graph, s NodeID) *ShortestPaths {
 			if sp.Dist[e.To] == Unreachable || nd < sp.Dist[e.To] {
 				sp.Dist[e.To] = nd
 				sp.Parent[e.To] = it.v
-				heap.Push(h, dijkItem{v: e.To, dist: nd})
+				h.Push(dijkItem{v: e.To, dist: nd})
 			}
 		}
 	}

@@ -23,10 +23,13 @@ type NodeID int
 // EdgeID indexes into Graph.Edges(). Every undirected edge has one ID.
 type EdgeID int
 
-// Edge is one undirected weighted edge.
+// Edge is one undirected weighted edge. ID is the edge's index in
+// Graph.Edges(); Build assigns it, so edges handed to a Builder may
+// leave it zero.
 type Edge struct {
 	U, V NodeID
 	W    int64
+	ID   EdgeID
 }
 
 // Half is one directed half of an undirected edge, as seen from a vertex's
@@ -95,6 +98,9 @@ func (b *Builder) Build() (*Graph, error) {
 		adj:   make([][]Half, b.n),
 	}
 	copy(g.edges, b.edges)
+	for i := range g.edges {
+		g.edges[i].ID = EdgeID(i)
+	}
 	deg := make([]int, b.n)
 	for _, e := range g.edges {
 		deg[e.U]++

@@ -1,8 +1,9 @@
 package graph
 
 import (
-	"container/heap"
 	"sort"
+
+	"costsense/internal/pq"
 )
 
 // DSU is a union-find structure with path compression and union by rank.
@@ -93,23 +94,14 @@ type primItem struct {
 	w    int64
 }
 
-type primHeap []primItem
-
-func (h primHeap) Len() int      { return len(h) }
-func (h primHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h primHeap) Less(i, j int) bool {
-	if h[i].w != h[j].w {
-		return h[i].w < h[j].w
+func (x primItem) Less(y primItem) bool {
+	if x.w != y.w {
+		return x.w < y.w
 	}
-	return h[i].v < h[j].v
-}
-func (h *primHeap) Push(x any) { *h = append(*h, x.(primItem)) }
-func (h *primHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	if x.v != y.v {
+		return x.v < y.v
+	}
+	return x.from < y.from
 }
 
 // PrimTree computes a minimum spanning tree rooted at root. Only the
@@ -122,18 +114,18 @@ func PrimTree(g *Graph, root NodeID) *Tree {
 	for i := range parent {
 		parent[i] = -1
 	}
-	h := &primHeap{}
+	h := pq.NewHeap[primItem](n)
 	add := func(v NodeID) {
 		inTree[v] = true
 		for _, e := range g.Adj(v) {
 			if !inTree[e.To] {
-				heap.Push(h, primItem{v: e.To, from: v, w: e.W})
+				h.Push(primItem{v: e.To, from: v, w: e.W})
 			}
 		}
 	}
 	add(root)
 	for h.Len() > 0 {
-		it := heap.Pop(h).(primItem)
+		it := h.Pop()
 		if inTree[it.v] {
 			continue
 		}

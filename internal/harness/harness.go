@@ -1,0 +1,52 @@
+// Package harness fans independent experiment trials across a worker
+// pool. Each trial is a pure function of its index (seed × protocol ×
+// graph are encoded by the caller), so trials can run on any worker in
+// any order while results come back in index order — parallel runs
+// produce byte-identical tables to serial ones.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed evaluates fn(0..n-1) on min(GOMAXPROCS, n) workers and
+// returns the results in index order. Every index runs even when some
+// fail; if any call fails, RunIndexed returns the error of the failing
+// call with the smallest index. Both the results and the reported
+// error are therefore independent of goroutine scheduling. fn must be
+// safe for concurrent calls with distinct indices.
+func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

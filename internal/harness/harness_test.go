@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedOrdersResults(t *testing.T) {
+	got, err := RunIndexed(100, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunIndexedEmpty(t *testing.T) {
+	got, err := RunIndexed(0, func(i int) (int, error) {
+		t.Error("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("RunIndexed(0) = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
+	errWant := errors.New("boom at 3")
+	_, err := RunIndexed(64, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, errWant
+		case 40:
+			return 0, errors.New("boom at 40")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if err.Error() != "boom at 3" {
+		t.Fatalf("err = %v, want %v", err, errWant)
+	}
+}
+
+func TestRunIndexedRunsConcurrently(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-proc runtime; concurrency not observable")
+	}
+	var inFlight, peak atomic.Int64
+	_, err := RunIndexed(32, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		for j := 0; j < 1000; j++ {
+			runtime.Gosched()
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("peak concurrency = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestRunIndexedEachIndexOnce(t *testing.T) {
+	const n = 500
+	var calls [n]atomic.Int64
+	_, err := RunIndexed(n, func(i int) (int, error) {
+		calls[i].Add(1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("index %d called %d times", i, c)
+		}
+	}
+}
+
+func TestRunIndexedDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		got, err := RunIndexed(50, func(i int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, i*7%13), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(got)
+	}
+	first := run()
+	for r := 0; r < 5; r++ {
+		if again := run(); again != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", r, again, first)
+		}
+	}
+}

@@ -12,17 +12,24 @@
 // class, so that synchronizer and controller overheads can be reported
 // apart from the protocol's own traffic.
 //
+// The hot path (Send → queue → deliver) is allocation-free per event:
+// events live in a concrete 4-ary min-heap (internal/pq), FIFO link
+// state and class accounting are dense slices indexed by directed-edge
+// and interned class IDs, and the neighbor lookup is a precomputed
+// per-node index instead of an adjacency scan. See DESIGN.md,
+// "Simulator internals & performance".
+//
 // The package also contains a weighted *synchronous* executor
 // (SyncRun): edge e delivers in exactly w(e) pulses. It provides the
 // reference semantics that network synchronizers (§4) must simulate.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
 	"costsense/internal/graph"
+	"costsense/internal/pq"
 )
 
 // Message is an opaque protocol payload.
@@ -71,7 +78,9 @@ type Process interface {
 	Handle(ctx Context, from graph.NodeID, m Message)
 }
 
-// DelayModel chooses the delay of each transmission.
+// DelayModel chooses the delay of each transmission. Delay receives the
+// actual network edge as stored in the graph — canonical (U, V)
+// orientation and its EdgeID — so models can key off edge identity.
 type DelayModel interface {
 	// Delay returns the transit time for a message on e, in [1, e.W].
 	Delay(e graph.Edge, rng *rand.Rand) int64
@@ -163,31 +172,26 @@ type TracePoint struct {
 	Value int64
 }
 
+// event is one scheduled delivery. It is deliberately pointer-free and
+// 32 bytes: the payload lives in the Network's message arena (indexed
+// by msgIdx) and endpoints are narrowed to int32, so sifting events
+// through the heap moves four plain words with no GC write barriers.
 type event struct {
-	at   int64
-	seq  int64
-	to   graph.NodeID
-	from graph.NodeID
-	msg  Message
+	at     int64
+	seq    int64
+	to     int32
+	from   int32
+	msgIdx int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Less orders events by (time, send sequence): the unique sequence
+// number makes the order total, so runs are deterministic no matter how
+// the queue breaks ties internally.
+func (e event) Less(f event) bool {
+	if e.at != f.at {
+		return e.at < f.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < f.seq
 }
 
 // Option configures a Network.
@@ -221,6 +225,23 @@ func WithCongestion() Option {
 	return func(n *Network) { n.congested = true }
 }
 
+// halfEdge is one entry of the per-node neighbor index: the directed
+// half-edge toward `to`, carrying the canonical stored edge and the
+// directed-edge slot in lastArrive. Entries are sorted by `to`; for
+// parallel edges the first adjacency occurrence (lowest edge ID) sorts
+// first and is the one send resolves, matching the semantics of the
+// adjacency-scan it replaces.
+type halfEdge struct {
+	to  graph.NodeID
+	w   int64
+	did int32 // directed-edge index: 2*edge.ID + orientation
+	eid graph.EdgeID
+}
+
+// nClassHint sizes the interned-class table: the four standard classes
+// plus room for a few protocol-defined ones before the slices grow.
+const nClassHint = 8
+
 // Network is one asynchronous execution: a graph, one process per
 // vertex, and a pending-event queue.
 type Network struct {
@@ -228,14 +249,22 @@ type Network struct {
 	procs      []Process
 	delay      DelayModel
 	rng        *rand.Rand
-	queue      eventHeap
+	queue      pq.Heap[event]
 	now        int64
 	seq        int64
-	lastArrive map[int64]int64 // directed edge key -> last scheduled arrival (FIFO)
+	lastArrive []int64 // directed-edge ID -> last scheduled arrival (FIFO) / busy-until (congested)
+	nbr        [][]halfEdge
+	msgs       []Message // in-flight payload arena, indexed by event.msgIdx
+	msgFree    []int32   // free slots in msgs
+	delayIsMax bool      // devirtualized fast path for the default DelayMax
 	stats      Stats
+	classes    []Class      // interned class names, index = class ID
+	classStats []ClassStats // dense per-class accounting, same index
+	classIdx   map[Class]int
 	traces     map[string][]TracePoint
 	eventLimit int64
 	congested  bool
+	ran        bool
 	ctxs       []nodeCtx
 }
 
@@ -249,20 +278,122 @@ func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, erro
 		procs:      procs,
 		delay:      DelayMax{},
 		rng:        rand.New(rand.NewSource(1)),
-		lastArrive: make(map[int64]int64),
+		lastArrive: make([]int64, 2*g.M()),
 		traces:     make(map[string][]TracePoint),
 		eventLimit: 50_000_000,
 	}
-	n.stats.ByClass = make(map[Class]ClassStats)
+	// Pre-size the queue and payload arena for the common regime of a
+	// few in-flight messages per edge; both still grow on demand.
+	n.queue = *pq.NewHeap[event](2 * g.M())
+	n.msgs = make([]Message, 0, 2*g.M())
 	n.stats.UsedEdges = make([]bool, g.M())
+	n.classes = make([]Class, 0, nClassHint)
+	n.classStats = make([]ClassStats, 0, nClassHint)
+	n.classIdx = make(map[Class]int, nClassHint)
+	for _, c := range [...]Class{ClassProto, ClassAck, ClassSync, ClassControl} {
+		n.internClass(c)
+	}
+	n.buildNeighborIndex()
 	for _, o := range opts {
 		o(n)
+	}
+	if _, ok := n.delay.(DelayMax); ok {
+		// The default maximal adversary is a pure d = w(e): skip the
+		// per-send interface dispatch. It draws nothing from the RNG,
+		// so the fast path cannot shift the random stream.
+		n.delayIsMax = true
 	}
 	n.ctxs = make([]nodeCtx, g.N())
 	for v := range n.ctxs {
 		n.ctxs[v] = nodeCtx{net: n, id: graph.NodeID(v)}
 	}
 	return n, nil
+}
+
+// buildNeighborIndex precomputes, for every vertex, its half-edges
+// sorted by neighbor, so send resolves a (from, to) pair by binary
+// search instead of an O(degree) adjacency scan. The index is built
+// with two stable counting passes straight off the edge list — O(n+m),
+// no comparison sort — and parallel edges keep edge-ID order, so the
+// leftmost match is the edge the old adjacency scan picked.
+func (n *Network) buildNeighborIndex() {
+	g := n.g
+	nv, m2 := g.N(), 2*g.M()
+	n.nbr = make([][]halfEdge, nv)
+
+	// dhalf is a directed half-edge during the build.
+	type dhalf struct {
+		from, to int32
+		w        int64
+		did      int32
+		eid      graph.EdgeID
+	}
+
+	// Pass 1: counting sort all directed halves by destination. Edges
+	// are visited in ID order, so the sort's stability keeps parallel
+	// edges ID-ordered.
+	cnt := make([]int32, nv+1)
+	for _, e := range g.Edges() {
+		cnt[e.V+1]++ // half e.U -> e.V
+		cnt[e.U+1]++ // half e.V -> e.U
+	}
+	for v := 0; v < nv; v++ {
+		cnt[v+1] += cnt[v]
+	}
+	byTo := make([]dhalf, m2)
+	for i, e := range g.Edges() {
+		p := cnt[e.V]
+		cnt[e.V]++
+		byTo[p] = dhalf{from: int32(e.U), to: int32(e.V), w: e.W, did: 2 * int32(i), eid: e.ID}
+		p = cnt[e.U]
+		cnt[e.U]++
+		byTo[p] = dhalf{from: int32(e.V), to: int32(e.U), w: e.W, did: 2*int32(i) + 1, eid: e.ID}
+	}
+
+	// Pass 2: scatter the to-sorted halves into per-source buckets;
+	// each bucket receives its entries already sorted by destination.
+	pos := make([]int32, nv+1)
+	for v := 0; v < nv; v++ {
+		pos[v+1] = pos[v] + int32(g.Degree(graph.NodeID(v)))
+	}
+	backing := make([]halfEdge, m2)
+	for v := 0; v < nv; v++ {
+		n.nbr[v] = backing[pos[v]:pos[v+1]:pos[v+1]]
+	}
+	for _, d := range byTo {
+		backing[pos[d.from]] = halfEdge{to: graph.NodeID(d.to), w: d.w, did: d.did, eid: d.eid}
+		pos[d.from]++
+	}
+}
+
+// internClass returns the dense ID for a class, allocating one on first
+// sight. The four standard classes are interned at construction.
+func (n *Network) internClass(c Class) int {
+	if id, ok := n.classIdx[c]; ok {
+		return id
+	}
+	id := len(n.classes)
+	n.classes = append(n.classes, c)
+	n.classStats = append(n.classStats, ClassStats{})
+	n.classIdx[c] = id
+	return id
+}
+
+// classID is the hot-path class lookup: the standard classes resolve by
+// constant-string comparison (pointer-equal for the package constants),
+// protocol-defined classes fall back to the interning map.
+func (n *Network) classID(c Class) int {
+	switch c {
+	case ClassProto:
+		return 0
+	case ClassAck:
+		return 1
+	case ClassSync:
+		return 2
+	case ClassControl:
+		return 3
+	}
+	return n.internClass(c)
 }
 
 // nodeCtx implements Context for one vertex.
@@ -287,52 +418,83 @@ func (c *nodeCtx) Record(key string, value int64) {
 	c.net.traces[key] = append(c.net.traces[key], TracePoint{Node: c.id, Time: c.net.now, Value: value})
 }
 
-func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
-	w := int64(-1)
-	for _, h := range n.g.Adj(from) {
-		if h.To == to {
-			w = h.W
-			n.stats.UsedEdges[h.ID] = true
-			break
+// half resolves the directed half-edge from -> to, or nil when the
+// vertices are not adjacent. Leftmost binary search: parallel edges
+// resolve to the lowest edge ID.
+func (n *Network) half(from, to graph.NodeID) *halfEdge {
+	idx := n.nbr[from]
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if idx[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	if w < 0 {
+	if lo == len(idx) || idx[lo].to != to {
+		return nil
+	}
+	return &idx[lo]
+}
+
+func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
+	h := n.half(from, to)
+	if h == nil {
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", from, to))
 	}
+	w := h.w
+	n.stats.UsedEdges[h.eid] = true
 	n.stats.Messages++
 	n.stats.Comm += w
-	cs := n.stats.ByClass[cl]
-	cs.Messages++
-	cs.Comm += w
-	n.stats.ByClass[cl] = cs
+	ci := n.classID(cl)
+	n.classStats[ci].Messages++
+	n.classStats[ci].Comm += w
 
-	e := graph.Edge{U: from, V: to, W: w}
-	d := n.delay.Delay(e, n.rng)
-	key := int64(from)*int64(n.g.N()) + int64(to)
+	var d int64
+	if n.delayIsMax {
+		d = w
+	} else {
+		d = n.delay.Delay(n.g.Edge(h.eid), n.rng)
+	}
+	last := n.lastArrive[h.did]
 	var at int64
 	if n.congested {
 		// Capacitated link: the edge carries one message at a time,
 		// each occupying it for its delay.
 		start := n.now
-		if busy, ok := n.lastArrive[key]; ok && busy > start {
-			start = busy
+		if last > start {
+			start = last
 		}
 		at = start + d
 	} else {
 		at = n.now + d
-		if last, ok := n.lastArrive[key]; ok && at < last {
+		if at < last {
 			at = last // FIFO per directed edge
 		}
 	}
-	n.lastArrive[key] = at
+	n.lastArrive[h.did] = at
 	n.seq++
-	heap.Push(&n.queue, event{at: at, seq: n.seq, to: to, from: from, msg: m})
+	var slot int32
+	if k := len(n.msgFree); k > 0 {
+		slot = n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		n.msgs[slot] = m
+	} else {
+		slot = int32(len(n.msgs))
+		n.msgs = append(n.msgs, m)
+	}
+	n.queue.Push(event{at: at, seq: n.seq, to: int32(to), from: int32(from), msgIdx: slot})
 }
 
 // Run initializes every process at time 0 and drives the event queue to
 // quiescence. It returns the accumulated statistics. Run may be called
-// once per Network.
+// once per Network; a second call returns an error.
 func (n *Network) Run() (*Stats, error) {
+	if n.ran {
+		return nil, fmt.Errorf("sim: Run called twice on the same Network")
+	}
+	n.ran = true
 	for v := range n.procs {
 		n.procs[v].Init(&n.ctxs[v])
 	}
@@ -340,12 +502,24 @@ func (n *Network) Run() (*Stats, error) {
 		if n.stats.Events >= n.eventLimit {
 			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%d (diverging protocol?)", n.eventLimit, n.now)
 		}
-		ev := heap.Pop(&n.queue).(event)
+		ev := n.queue.Pop()
 		n.now = ev.at
 		n.stats.Events++
-		n.procs[ev.to].Handle(&n.ctxs[ev.to], ev.from, ev.msg)
+		m := n.msgs[ev.msgIdx]
+		n.msgs[ev.msgIdx] = nil
+		n.msgFree = append(n.msgFree, ev.msgIdx)
+		n.procs[ev.to].Handle(&n.ctxs[ev.to], graph.NodeID(ev.from), m)
 	}
 	n.stats.FinishTime = n.now
+	// Materialize the public per-class view from the dense counters.
+	// Only classes that carried traffic appear, matching the map the
+	// accounting used to maintain inline.
+	n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
+	for i, cs := range n.classStats {
+		if cs.Messages > 0 {
+			n.stats.ByClass[n.classes[i]] = cs
+		}
+	}
 	return &n.stats, nil
 }
 

@@ -72,6 +72,20 @@ func TestSendDeliveryAndAccounting(t *testing.T) {
 	}
 }
 
+func TestRunTwiceErrors(t *testing.T) {
+	g := twoNode(3)
+	n, err := NewNetwork(g, []Process{&pingPong{id: 0, k: 1}, &pingPong{id: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := n.Run(); err == nil {
+		t.Fatal("second Run succeeded, want error")
+	}
+}
+
 func TestFIFOOrdering(t *testing.T) {
 	// Under random delays, FIFO per directed edge must still hold.
 	g := twoNode(1000)

@@ -1,6 +1,7 @@
 package costsense_test
 
 import (
+	"fmt"
 	"testing"
 
 	"costsense"
@@ -13,18 +14,39 @@ func TestScaleFlood(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	g := costsense.RandomConnected(2000, 8000, costsense.UniformWeights(64, 1), 1)
-	res, err := costsense.RunFlood(g, 0)
+	// Sweep seeds through the parallel harness: each trial builds its
+	// own graph and network, so trials share nothing and fan across
+	// workers.
+	seeds := []int64{1, 7, 42, 1001}
+	type floodTrial struct {
+		comm, bound int64
+		unreached   int
+	}
+	got, err := costsense.RunTrials(len(seeds), func(i int) (floodTrial, error) {
+		seed := seeds[i]
+		g := costsense.RandomConnected(2000, 8000, costsense.UniformWeights(64, seed), seed)
+		res, err := costsense.RunFlood(g, 0)
+		if err != nil {
+			return floodTrial{}, err
+		}
+		tr := floodTrial{comm: res.Stats.Comm, bound: 2 * g.TotalWeight()}
+		for _, ok := range res.Reached {
+			if !ok {
+				tr.unreached++
+			}
+		}
+		return tr, nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, ok := range res.Reached {
-		if !ok {
-			t.Fatalf("node %d unreached at scale", v)
+	for i, tr := range got {
+		if tr.unreached > 0 {
+			t.Fatalf("seed %d: %d nodes unreached at scale", seeds[i], tr.unreached)
 		}
-	}
-	if res.Stats.Comm > 2*g.TotalWeight() {
-		t.Fatalf("flood comm %d > 2𝓔 at scale", res.Stats.Comm)
+		if tr.comm > tr.bound {
+			t.Fatalf("seed %d: flood comm %d > 2𝓔 at scale", seeds[i], tr.comm)
+		}
 	}
 }
 
@@ -32,13 +54,26 @@ func TestScaleGHS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test")
 	}
-	g := costsense.RandomConnected(500, 2000, costsense.UniformWeights(128, 2), 2)
-	res, err := costsense.RunGHS(g)
+	seeds := []int64{2, 17, 99}
+	bad, err := costsense.RunTrials(len(seeds), func(i int) (string, error) {
+		seed := seeds[i]
+		g := costsense.RandomConnected(500, 2000, costsense.UniformWeights(128, seed), seed)
+		res, err := costsense.RunGHS(g)
+		if err != nil {
+			return "", err
+		}
+		if got, want := res.Weight(), costsense.MSTWeight(g); got != want {
+			return fmt.Sprintf("seed %d: GHS weight %d, want %d", seed, got, want), nil
+		}
+		return "", nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Weight() != costsense.MSTWeight(g) {
-		t.Fatalf("GHS wrong at scale: %d vs %d", res.Weight(), costsense.MSTWeight(g))
+	for _, msg := range bad {
+		if msg != "" {
+			t.Error(msg)
+		}
 	}
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench.sh — measure the simulator engine and refresh BENCH_sim.json.
+#
+# Runs the pure-engine throughput benchmark (BenchmarkEngineFlood:
+# flooding on a 5000-node / 40000-edge random graph) several times and
+# records the averaged numbers next to the frozen pre-optimization
+# baseline. Run from the repository root:
+#
+#   ./scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+COUNT="${BENCH_COUNT:-3}"
+OUT="${BENCH_OUT:-BENCH_sim.json}"
+
+go test -run '^$' -bench '^BenchmarkEngineFlood$' -benchmem \
+	-benchtime "${BENCH_TIME:-5x}" -count "$COUNT" . |
+	tee /dev/stderr |
+	go run ./scripts/benchjson >"$OUT"
+
+echo "wrote $OUT" >&2

@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output for the engine
+// benchmark into BENCH_sim.json. It reads the benchmark output on
+// stdin, averages the BenchmarkEngineFlood lines, and emits a JSON
+// document holding both the frozen pre-optimization baseline (the
+// container/heap + map engine, measured on the same workload before
+// the rewrite) and the current numbers, plus the improvement ratios.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkEngineFlood -benchmem -count 3 . | go run ./scripts/benchjson > BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// run is one measured configuration of the engine benchmark.
+type run struct {
+	Engine       string  `json:"engine"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+}
+
+// baseline is the seed engine (container/heap event queue, any-boxed
+// events, map-based per-edge and per-class accounting) on the same
+// workload and machine; regenerate by checking out the seed commit and
+// re-running the pipeline above.
+var baseline = run{
+	Engine:       "container/heap + any-boxed events + map accounting (seed)",
+	NsPerOp:      65912273,
+	EventsPerSec: 1137892,
+	AllocsPerOp:  155573,
+	BytesPerOp:   26141496,
+}
+
+func main() {
+	cur, n, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc := map[string]any{
+		"benchmark": "BenchmarkEngineFlood",
+		"workload":  "flooding on RandomConnected(5000, 40000, UniformWeights(64, 21), 21), DelayMax, 75001 events/op",
+		"samples":   n,
+		"baseline":  baseline,
+		"current":   cur,
+		"improvement": map[string]string{
+			"events_per_sec": fmt.Sprintf("%.2fx", cur.EventsPerSec/baseline.EventsPerSec),
+			"allocs_per_op":  fmt.Sprintf("%.1fx fewer", baseline.AllocsPerOp/cur.AllocsPerOp),
+			"bytes_per_op":   fmt.Sprintf("%.1fx fewer", baseline.BytesPerOp/cur.BytesPerOp),
+		},
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse averages every BenchmarkEngineFlood line in r. A line looks
+// like:
+//
+//	BenchmarkEngineFlood  5  35424437 ns/op  75001 events/op  2117225 events/sec  11421680 B/op  5049 allocs/op
+func parse(r *os.File) (run, int, error) {
+	cur := run{Engine: "shared 4-ary heap + dense accounting (this tree)"}
+	n := 0
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || !strings.HasPrefix(f[0], "BenchmarkEngineFlood") {
+			continue
+		}
+		vals := map[string]float64{}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return cur, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
+			}
+			vals[f[i+1]] = v
+		}
+		cur.NsPerOp += vals["ns/op"]
+		cur.EventsPerSec += vals["events/sec"]
+		cur.AllocsPerOp += vals["allocs/op"]
+		cur.BytesPerOp += vals["B/op"]
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return cur, 0, err
+	}
+	if n == 0 {
+		return cur, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
+	}
+	cur.NsPerOp /= float64(n)
+	cur.EventsPerSec /= float64(n)
+	cur.AllocsPerOp /= float64(n)
+	cur.BytesPerOp /= float64(n)
+	return cur, n, nil
+}
