@@ -43,9 +43,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for name, r := range map[string]*costsense.ClockResult{"α*": alpha, "γ*": gamma} {
-		if err := r.CausalOK(g); err != nil {
-			return fmt.Errorf("%s violates pulse causality: %w", name, err)
+	for _, c := range []struct {
+		name string
+		r    *costsense.ClockResult
+	}{{"α*", alpha}, {"γ*", gamma}} {
+		if err := c.r.CausalOK(g); err != nil {
+			return fmt.Errorf("%s violates pulse causality: %w", c.name, err)
 		}
 	}
 

@@ -44,12 +44,13 @@ func run() error {
 		return err
 	}
 
-	for name, res := range map[string]*costsense.SPTResult{
-		"SPTrecur": recur, "SPTsynch": synch, "SPThybrid": hybrid,
-	} {
-		for v := range res.Dist {
-			if res.Dist[v] != want.Dist[v] {
-				return fmt.Errorf("%s: wrong distance at node %d", name, v)
+	for _, c := range []struct {
+		name string
+		res  *costsense.SPTResult
+	}{{"SPTrecur", recur}, {"SPTsynch", synch}, {"SPThybrid", hybrid}} {
+		for v := range c.res.Dist {
+			if c.res.Dist[v] != want.Dist[v] {
+				return fmt.Errorf("%s: wrong distance at node %d", c.name, v)
 			}
 		}
 	}

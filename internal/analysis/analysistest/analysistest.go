@@ -1,0 +1,163 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against `// want "regexp"` comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest (not vendored —
+// the suite must build offline with the bare toolchain).
+//
+// A want comment expects one or more diagnostics on its own line, each
+// matching one of the quoted regular expressions:
+//
+//	for k := range m { // want "range over map"
+//
+// Every diagnostic must be matched by a want pattern on its line, and
+// every want pattern must match at least one diagnostic; anything else
+// fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"costsense/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the package at testdata/<rel> (relative to the calling
+// test's directory) and checks analyzer a against its want comments.
+func Run(t *testing.T, a *analysis.Analyzer, rel string) {
+	t.Helper()
+	moduleRoot, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", filepath.FromSlash(rel))
+	pkg, err := loader.LoadDir(dir, "costsense-vet.test/"+strings.ReplaceAll(rel, "/", "_"))
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, pkg)
+	diags := analysis.Run(a, pkg)
+
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		key := lineKey{file: d.Pos.Filename, line: d.Pos.Line}
+		ok := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	keys := make([]lineKey, 0, len(wants))
+	for key := range wants { //costsense:nondet-ok keys are sorted below before reporting
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, key := range keys {
+		for _, w := range wants[key] {
+			if !matched[w] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re *regexp.Regexp
+}
+
+// collectWants extracts the want expectations of every file in pkg.
+func collectWants(t *testing.T, pkg *analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				for _, pat := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses the sequence of quoted patterns after "want".
+func splitQuoted(t *testing.T, pos interface{ String() string }, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want clause at %q", pos, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s: unterminated want pattern in %q", pos, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, s[:end+1], err)
+		}
+		out = append(out, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, so tests run from any package directory of the module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

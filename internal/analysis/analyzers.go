@@ -1,0 +1,21 @@
+package analysis
+
+// All returns the costsense-vet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Detmap, Detsource, Hotpathalloc, Arenaref}
+}
+
+// Check runs every applicable analyzer over the packages and returns
+// the combined diagnostics in package, then position, order.
+func Check(l *Loader, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if !a.InScope(l.ModulePath, pkg.Path) {
+				continue
+			}
+			diags = append(diags, Run(a, pkg)...)
+		}
+	}
+	return diags
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Arenaref guards the simulator's message arena against use-after-free
+// by construction. The Network keeps in-flight payloads in a free-list
+// arena (internal/sim: msgs/msgFree); a delivery hands the payload to
+// the protocol's Handle and immediately recycles the slot. A handler
+// that squirrels the message away — into a receiver field, a
+// package-level variable, a map or slice that outlives the call —
+// would observe a recycled value the moment payloads themselves move
+// into a typed arena (the planned follow-up to the PR 1 event arena).
+//
+// The analyzer applies to any method named Handle whose last parameter
+// is sim.Message. Within the body it tracks the message parameter and
+// simple local aliases of it (including type assertions) and reports
+// stores that escape the call. Forwarding the message — passing it to
+// ctx.Send or another function — transfers ownership and stays legal.
+//
+// Sites audited as safe today (payloads are still sender-owned heap
+// values) carry `//costsense:retain-ok <why>` so the migration has a
+// worklist instead of a minefield.
+var Arenaref = &Analyzer{
+	Name:     "arenaref",
+	Doc:      "flags protocol handlers retaining an arena message past return",
+	Suppress: "retain-ok",
+	Scoped:   false, // signature-driven: applies to any sim.Process handler
+	Run:      runArenaref,
+}
+
+func runArenaref(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "Handle" {
+				continue
+			}
+			msg := messageParam(pass, fd)
+			if msg == nil {
+				continue
+			}
+			checkHandler(pass, fd, msg)
+		}
+	}
+}
+
+// messageParam returns the object of the trailing sim.Message
+// parameter of a handler, or nil when the function is not one.
+func messageParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return nil
+	}
+	last := params.List[len(params.List)-1]
+	if len(last.Names) == 0 || last.Names[len(last.Names)-1].Name == "_" {
+		return nil
+	}
+	t := pass.TypeOf(last.Type)
+	if !isSimMessage(t) {
+		return nil
+	}
+	return pass.ObjectOf(last.Names[len(last.Names)-1])
+}
+
+// isSimMessage reports whether t is the named type Message of a sim
+// package (costsense/internal/sim, or a testdata copy ending in
+// "/sim").
+func isSimMessage(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Message" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "costsense/internal/sim" || pathHasSuffix(path, "/sim") || path == "sim"
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return len(path) >= len(suffix) && path[len(path)-len(suffix):] == suffix
+}
+
+// checkHandler walks the handler body in source order, tracking which
+// local objects alias the message, and reports stores whose
+// destination outlives the call.
+func checkHandler(pass *Pass, fd *ast.FuncDecl, msg types.Object) {
+	tainted := map[types.Object]bool{msg: true}
+
+	var taintedExpr func(e ast.Expr) bool
+	taintedExpr = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[pass.ObjectOf(e)]
+		case *ast.TypeAssertExpr:
+			return taintedExpr(e.X)
+		case *ast.UnaryExpr:
+			return taintedExpr(e.X)
+		case *ast.StarExpr:
+			return taintedExpr(e.X)
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if taintedExpr(el) {
+					return true
+				}
+			}
+		case *ast.CallExpr:
+			// append(xs, m): the result carries the taint. Other calls
+			// transfer ownership (e.g. ctx.Send) and drop it.
+			if pass.IsBuiltinCall(e, "append") {
+				for _, a := range e.Args {
+					if taintedExpr(a) {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+
+	// escapes reports whether storing into lhs outlives the handler:
+	// any selector (receiver or other struct field), index expression,
+	// dereference, or package-level variable.
+	escapes := func(lhs ast.Expr) bool {
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		case *ast.Ident:
+			obj := pass.ObjectOf(lhs)
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+				return v.Parent() == v.Pkg().Scope() // package-level variable
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// Parallel assignment pairs Lhs[i] with Rhs[i]; the multi-value
+		// forms (v, ok := m.(*T)) pair every Lhs with Rhs[0].
+		for i, lhs := range as.Lhs {
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if i > 0 {
+				continue // comma-ok: only the value result carries the message
+			}
+			if !taintedExpr(rhs) {
+				continue
+			}
+			if escapes(lhs) {
+				pass.Report(as.Pos(),
+					"handler stores arena message %s into %s, which outlives the call; copy the payload or audit with %sretain-ok <why>",
+					msg.Name(), exprString(lhs), Directive)
+				continue
+			}
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil {
+					tainted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detmap flags map iteration in the deterministic core: `range` over a
+// map value, and maps.Keys/maps.Values calls whose order is not
+// immediately fixed by a sort. Go randomizes map iteration order per
+// run, so any such loop that feeds Stats, experiment output or
+// protocol decisions silently breaks the fixed-seed reproducibility
+// the paper's c_π/t_π measurements rely on.
+//
+// Audited order-insensitive loops (pure reductions: sums, max, set
+// union, deletion) are suppressed with `//costsense:nondet-ok <why>`.
+var Detmap = &Analyzer{
+	Name:     "detmap",
+	Doc:      "flags nondeterministic map iteration in deterministic packages",
+	Suppress: "nondet-ok",
+	Scoped:   true,
+	Run:      runDetmap,
+}
+
+func runDetmap(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Report(n.Pos(),
+						"range over %s iterates in randomized order; sort the keys or audit with %snondet-ok <why>",
+						typeLabel(t), Directive)
+				}
+			case *ast.CallExpr:
+				fn := pass.CalleeFunc(n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+					return true
+				}
+				if fn.Name() != "Keys" && fn.Name() != "Values" {
+					return true
+				}
+				if sortedImmediately(pass, stack) {
+					return true
+				}
+				pass.Report(n.Pos(),
+					"maps.%s yields keys in randomized order; wrap in slices.Sorted or audit with %snondet-ok <why>",
+					fn.Name(), Directive)
+			}
+			return true
+		})
+	}
+}
+
+// sortedImmediately reports whether the maps.Keys/Values call is a
+// direct argument of slices.Sorted / slices.SortedFunc /
+// slices.SortedStableFunc, which fixes the order before anything can
+// observe it.
+func sortedImmediately(pass *Pass, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	call, ok := stack[len(stack)-1].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "slices" {
+		return false
+	}
+	switch fn.Name() {
+	case "Sorted", "SortedFunc", "SortedStableFunc":
+		return true
+	}
+	// Note slices.Collect is NOT enough: it materializes the iterator
+	// in whatever order the map yields.
+	return false
+}
+
+// typeLabel renders a type tersely for diagnostics.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Hotpathalloc enforces the allocation-free contract on functions
+// annotated `//costsense:hotpath` in their doc comment (the simulator
+// event loop, internal/pq sift operations, the Dijkstra/Prim inner
+// loops). Inside such a function it flags the constructs that allocate
+// or box on every execution:
+//
+//   - calls into fmt (formatting allocates and boxes every operand)
+//   - function literals (closures capture by reference and escape)
+//   - map construction: map literals and make(map...), make(chan ...)
+//   - &T{...} composite pointers and builtin new
+//   - append whose destination is not its own source slice (the
+//     amortized x = append(x, ...) growth idiom stays legal)
+//   - string <-> []byte/[]rune conversions (always copy)
+//   - boxing a non-pointer concrete value into an interface, whether
+//     by explicit conversion, assignment, or argument passing
+//
+// Cold paths inside a hot function — panics, error returns, one-time
+// result construction — are audited with `//costsense:alloc-ok <why>`.
+// The dynamic side of the same contract is BenchmarkEngineFlood's
+// allocs/op tracked in BENCH_sim.json; this analyzer catches the
+// regression at vet time instead of at the next bench run.
+var Hotpathalloc = &Analyzer{
+	Name:     "hotpathalloc",
+	Doc:      "flags allocating or boxing constructs in //costsense:hotpath functions",
+	Suppress: "alloc-ok",
+	Scoped:   false, // annotation-driven: applies wherever the annotation does
+	Run:      runHotpathalloc,
+}
+
+// HotpathDirective marks a function as allocation-free-checked.
+const HotpathDirective = Directive + "hotpath"
+
+func runHotpathalloc(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotpathBody(pass, fd)
+		}
+	}
+}
+
+// isHotpath reports whether the function's doc comment carries the
+// //costsense:hotpath annotation.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, HotpathDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Report(n.Pos(), "closure in hotpath function %s allocates and captures by reference", fd.Name.Name)
+			return false // don't double-report the closure's own body
+		case *ast.CompositeLit:
+			if t := pass.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Report(n.Pos(), "map literal allocates in hotpath function %s", fd.Name.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Report(n.Pos(), "&composite literal allocates in hotpath function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotpathCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) {
+					checkBoxing(pass, fd, pass.TypeOf(n.Lhs[i]), rhs)
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if t, ok := info.Types[n.Type]; ok {
+					for _, v := range n.Values {
+						checkBoxing(pass, fd, t.Type, v)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkHotpathCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins that allocate.
+	switch {
+	case pass.IsBuiltinCall(call, "make"):
+		if len(call.Args) > 0 {
+			if t := pass.TypeOf(call.Args[0]); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Report(call.Pos(), "make(map) allocates in hotpath function %s", fd.Name.Name)
+				case *types.Chan:
+					pass.Report(call.Pos(), "make(chan) allocates in hotpath function %s", fd.Name.Name)
+				}
+			}
+		}
+		return
+	case pass.IsBuiltinCall(call, "new"):
+		pass.Report(call.Pos(), "new allocates in hotpath function %s", fd.Name.Name)
+		return
+	case pass.IsBuiltinCall(call, "append"):
+		checkAppend(pass, fd, call)
+		return
+	}
+
+	// Conversions: string <-> []byte/[]rune copy; conversion to an
+	// interface boxes.
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := pass.TypeOf(call.Args[0])
+		if src != nil {
+			if stringByteConversion(dst, src) {
+				pass.Report(call.Pos(), "%s <-> %s conversion copies in hotpath function %s",
+					typeLabel(src), typeLabel(dst), fd.Name.Name)
+			}
+			checkBoxing(pass, fd, dst, call.Args[0])
+		}
+		return
+	}
+
+	// Calls into fmt.
+	if fn := pass.CalleeFunc(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Report(call.Pos(), "fmt.%s allocates and boxes its operands in hotpath function %s (audit cold paths with %salloc-ok <why>)",
+			fn.Name(), fd.Name.Name, Directive)
+		// Boxing of each operand would be reported below too; the fmt
+		// diagnostic subsumes them, and a line suppression covers both.
+	}
+
+	// Implicit boxing: a concrete non-pointer argument passed to an
+	// interface-typed parameter.
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, fd, pt, arg)
+	}
+}
+
+// checkAppend allows the amortized-growth idiom x = append(x, ...) and
+// flags everything else: append into a fresh variable, a nil slice, or
+// a destination different from the source.
+func checkAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	src := ast.Unparen(call.Args[0])
+	if id, ok := src.(*ast.Ident); ok && id.Name == "nil" {
+		pass.Report(call.Pos(), "append to nil slice allocates in hotpath function %s", fd.Name.Name)
+		return
+	}
+	// Find the assignment this append feeds, if it is the sole RHS.
+	// (The walk gives no parent pointers, so re-scan the function for
+	// the owning statement — function bodies are small.)
+	var owner *ast.AssignStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && len(as.Lhs) == 1 {
+			if ast.Unparen(as.Rhs[0]) == call {
+				owner = as
+				return false
+			}
+		}
+		return true
+	})
+	if owner == nil {
+		pass.Report(call.Pos(), "append result not reassigned to its source; likely allocates in hotpath function %s", fd.Name.Name)
+		return
+	}
+	if exprString(owner.Lhs[0]) != exprString(src) {
+		pass.Report(call.Pos(), "append to %s grows a different slice than it reads (%s); preallocate or audit with %salloc-ok <why>",
+			exprString(owner.Lhs[0]), exprString(src), Directive)
+	}
+}
+
+// checkBoxing reports rhs being converted into interface type dst when
+// its concrete type is not pointer-shaped (storing a pointer, chan,
+// map, func or unsafe.Pointer in an interface does not allocate).
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, dst types.Type, rhs ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[rhs]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if types.IsInterface(src) || tv.IsNil() {
+		return // interface-to-interface or nil: no new box
+	}
+	switch u := src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: the interface stores the pointer itself
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil {
+			return
+		}
+	}
+	pass.Report(rhs.Pos(), "%s boxed into %s allocates in hotpath function %s",
+		typeLabel(src), typeLabel(dst), fd.Name.Name)
+}
+
+// stringByteConversion reports a conversion between string and
+// []byte/[]rune in either direction.
+func stringByteConversion(a, b types.Type) bool {
+	return isStringType(a) && isByteOrRuneSlice(b) || isStringType(b) && isByteOrRuneSlice(a)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// exprString renders an expression for comparison and diagnostics.
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}

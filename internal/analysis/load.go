@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit the analyzers
+// operate on. Only non-test files are loaded — the determinism and
+// allocation invariants apply to shipped code, and test files are free
+// to use maps, wall clocks and fmt as they please.
+type Package struct {
+	Path  string // import path, e.g. "costsense/internal/sim"
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of a single module using only
+// the standard library: module-internal imports resolve by directory
+// under the module root, everything else goes through the GOROOT
+// source importer. This keeps costsense-vet self-contained — it needs
+// no golang.org/x/tools and no network.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std  types.Importer // GOROOT source importer, memoizes internally
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader rooted at moduleDir, reading the module
+// path from go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+	}, nil
+}
+
+// modulePathOf extracts the module path from moduleDir/go.mod.
+func modulePathOf(moduleDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", moduleDir)
+}
+
+// Import resolves an import path for the type checker: module-internal
+// paths load from the module tree, all others from GOROOT source.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.load(path, l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// LoadDir loads the package in dir under the given import path. Used
+// directly by the analyzer tests to load testdata packages, which live
+// outside the module's package tree.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(importPath, abs)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+		}
+		return pkg, nil
+	}
+	l.pkgs[importPath] = nil // cycle guard
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, err
+	}
+	if len(files) == 0 {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		delete(l.pkgs, importPath)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of dir, sorted by name for
+// deterministic diagnostics.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// PackageDirs walks the module tree and returns the directories that
+// contain buildable Go files, relative to the module root, in sorted
+// order. testdata, examples of other modules, hidden and underscore
+// directories are skipped, matching the go tool's convention.
+func (l *Loader) PackageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModuleDir &&
+				(name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	rels := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		rel, err := filepath.Rel(l.ModuleDir, d)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, filepath.ToSlash(rel))
+	}
+	return rels, nil
+}
+
+// ImportPathFor maps a module-relative directory ("." or
+// "internal/sim") to its import path.
+func (l *Loader) ImportPathFor(rel string) string {
+	if rel == "." || rel == "" {
+		return l.ModulePath
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadPackages loads the packages at the given module-relative
+// directories, in order.
+func (l *Loader) LoadPackages(rels []string) ([]*Package, error) {
+	pkgs := make([]*Package, 0, len(rels))
+	for _, rel := range rels {
+		pkg, err := l.load(l.ImportPathFor(rel), filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,45 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"costsense/internal/analysis"
+)
+
+// TestSelfHost is the self-hosting regression check: the full
+// costsense-vet suite must be clean on the repository itself. Any new
+// map iteration feeding output, wall-clock read, hot-path allocation
+// or handler retention fails this test with the same diagnostic the
+// CI lint job would print.
+func TestSelfHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode (CI's lint job covers it)")
+	}
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(moduleRoot, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", moduleRoot, err)
+	}
+	loader, err := analysis.NewLoader(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := loader.PackageDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) < 10 {
+		t.Fatalf("suspiciously few packages found: %v", rels)
+	}
+	pkgs, err := loader.LoadPackages(rels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range analysis.Check(loader, pkgs) {
+		t.Errorf("costsense-vet finding: %s", d)
+	}
+}

@@ -1,0 +1,70 @@
+// Package arenareftest exercises the arenaref analyzer: protocol
+// handlers that store the arena message past their return are flagged;
+// forwarding, local use and audited buffers stay quiet.
+package arenareftest
+
+import (
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+type payload struct{ n int }
+
+var lastSeen sim.Message
+
+// Retainer stores the message in ways that outlive the call.
+type Retainer struct {
+	saved sim.Message
+	buf   []sim.Message
+	byKey map[int]sim.Message
+	ptr   *payload
+}
+
+func (r *Retainer) Init(ctx sim.Context) {}
+
+func (r *Retainer) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	r.saved = m              // want "stores arena message m into r.saved"
+	r.buf = append(r.buf, m) // want "stores arena message m into r.buf"
+	r.byKey[0] = m           // want "stores arena message m into r.byKey\\[0\\]"
+	lastSeen = m             // want "stores arena message m into lastSeen"
+	pl, ok := m.(*payload)   // taints the local alias
+	if ok {
+		r.ptr = pl // want "stores arena message m into r.ptr"
+	}
+}
+
+// Forwarder only reads, forwards and drops the message: clean.
+type Forwarder struct {
+	count int
+}
+
+func (f *Forwarder) Init(ctx sim.Context) {}
+
+func (f *Forwarder) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	if pl, ok := m.(*payload); ok {
+		f.count += pl.n // copying a field out is fine
+	}
+	for _, h := range ctx.Neighbors() {
+		ctx.Send(h.To, m) // forwarding transfers ownership
+	}
+	local := m
+	_ = local
+}
+
+// Audited defers messages behind a justified suppression, like the
+// GHS core's test/connect buffering.
+type Audited struct {
+	deferred []sim.Message
+}
+
+func (a *Audited) Init(ctx sim.Context) {}
+
+func (a *Audited) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	//costsense:retain-ok payloads are sender-owned immutable values, not arena-recycled yet
+	a.deferred = append(a.deferred, m)
+}
+
+// NotAHandler has the name but not the signature: ignored.
+type NotAHandler struct{ saved int }
+
+func (n *NotAHandler) Handle(v int) { n.saved = v }

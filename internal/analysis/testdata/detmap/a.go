@@ -1,0 +1,53 @@
+// Package detmaptest exercises the detmap analyzer: map iteration is
+// flagged, audited loops and sorted key extraction stay quiet.
+package detmaptest
+
+import (
+	"maps"
+	"slices"
+)
+
+// Flagged iterates maps without fixing the order.
+func Flagged(m map[string]int) int {
+	total := 0
+	for k := range m { // want "range over map\\[string\\]int iterates in randomized order"
+		total += len(k)
+	}
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	ks := maps.Keys(m) // want "maps.Keys yields keys in randomized order"
+	_ = ks
+	return total
+}
+
+// Audited carries a justified suppression and stays clean.
+func Audited(m map[string]int) int {
+	total := 0
+	//costsense:nondet-ok commutative sum; order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Unjustified has a bare directive, which is itself reported.
+func Unjustified(m map[string]int) {
+	//costsense:nondet-ok
+	for range m { // want "directive needs a justification"
+	}
+}
+
+// SortedKeys fixes the order immediately and stays clean.
+func SortedKeys(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// SliceRange is not a map and stays clean.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,39 @@
+// Package detsourcetest exercises the detsource analyzer: wall clock,
+// global RNG and scheduler queries are flagged; explicitly seeded
+// generators and audited sites stay quiet.
+package detsourcetest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"runtime"
+	"time"
+)
+
+// Flagged draws from every forbidden ambient source.
+func Flagged() int64 {
+	t := time.Now().UnixNano() // want "time.Now reads the wall clock"
+	n := rand.Int63()          // want "global rand.Int63 uses shared, unseeded state"
+	k := randv2.IntN(7)        // want "global rand/v2.IntN uses shared, unseeded state"
+	w := runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS varies across hosts"
+	c := runtime.NumCPU()      // want "runtime.NumCPU varies across hosts"
+	return t + n + int64(k) + int64(w) + int64(c)
+}
+
+// Seeded uses the sanctioned per-trial generator and stays clean.
+func Seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63()
+}
+
+// Audited suppresses a justified scheduler query.
+func Audited() int {
+	//costsense:nondet-ok sizes a worker pool; output is index-ordered
+	return runtime.GOMAXPROCS(0)
+}
+
+// Elapsed uses time arithmetic on explicit values, not the wall
+// clock, and stays clean.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}

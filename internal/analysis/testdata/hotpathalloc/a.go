@@ -1,0 +1,73 @@
+// Package hotpathalloctest exercises the hotpathalloc analyzer: inside
+// a //costsense:hotpath function every allocating construct is
+// flagged; unannotated functions and audited cold paths stay quiet.
+package hotpathalloctest
+
+import "fmt"
+
+type item struct{ v int }
+
+type sink interface{ use() }
+
+func (item) use() {}
+
+// Hot is annotated and full of violations.
+//
+//costsense:hotpath
+func Hot(xs []int, extra []int, s string) int {
+	m := map[int]int{} // want "map literal allocates"
+	m[1] = 1
+	mm := make(map[int]int) // want "make\\(map\\) allocates"
+	_ = mm
+	ch := make(chan int) // want "make\\(chan\\) allocates"
+	_ = ch
+	p := new(item) // want "new allocates"
+	_ = p
+	q := &item{v: 1} // want "&composite literal allocates"
+	_ = q
+	f := func() int { return 1 } // want "closure in hotpath function Hot"
+	_ = f
+	msg := fmt.Sprintf("%d", len(xs)) // want "fmt.Sprintf allocates" "int boxed into any"
+	_ = msg
+	b := []byte(s) // want "string <-> \\[\\]byte conversion copies"
+	_ = b
+	ys := append(extra, xs...) // want "append to ys grows a different slice than it reads"
+	_ = ys
+	var boxed sink = item{} // want "item boxed into .*sink allocates"
+	_ = boxed
+	takeAny(42) // want "int boxed into any allocates"
+	return len(xs)
+}
+
+// HotClean is annotated and uses only the legal idioms.
+//
+//costsense:hotpath
+func HotClean(xs []int, it *item) int {
+	xs = append(xs, 1) // amortized growth of its own backing array
+	var s sink = it    // pointer into interface: no box
+	s.use()
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// HotAudited suppresses a justified cold-path allocation.
+//
+//costsense:hotpath
+func HotAudited(bad bool) {
+	if bad {
+		//costsense:alloc-ok cold path: panic on misuse
+		panic(fmt.Sprintf("bad: %v", bad))
+	}
+}
+
+// Cold is unannotated: the same constructs go unflagged.
+func Cold(s string) string {
+	m := map[int]int{1: 1}
+	f := func() int { return m[1] }
+	return fmt.Sprintf("%s %d %v", s, f(), []byte(s))
+}
+
+func takeAny(v any) { _ = v }

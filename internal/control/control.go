@@ -141,6 +141,7 @@ func (p *Proc) shortfall() int64 {
 	for _, q := range p.queue {
 		s += q.cost
 	}
+	//costsense:nondet-ok commutative sum over values; order cannot reach the result
 	for _, amt := range p.owed {
 		s += amt
 	}

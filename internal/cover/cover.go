@@ -199,6 +199,7 @@ func Coarsen(g *graph.Graph, s Cover, k int) Cover {
 	for len(remaining) > 0 {
 		// Pick the lowest remaining cluster index for determinism.
 		seed := -1
+		//costsense:nondet-ok min-reduction over keys; order cannot reach the result
 		for i := range remaining {
 			if seed < 0 || i < seed {
 				seed = i
@@ -209,6 +210,7 @@ func Coarsen(g *graph.Graph, s Cover, k int) Cover {
 			zPrev := z
 			// Y = union of clusters in zPrev.
 			inY := make(map[graph.NodeID]bool)
+			//costsense:nondet-ok set union; membership is order-independent
 			for i := range zPrev {
 				for _, v := range s[i] {
 					inY[v] = true
@@ -216,6 +218,7 @@ func Coarsen(g *graph.Graph, s Cover, k int) Cover {
 			}
 			// Z = all remaining clusters intersecting Y.
 			z = make(map[int]bool)
+			//costsense:nondet-ok set union; membership is order-independent
 			for v := range inY {
 				for _, i := range memberOf[v] {
 					if remaining[i] {
@@ -229,10 +232,12 @@ func Coarsen(g *graph.Graph, s Cover, k int) Cover {
 				// kernel zPrev; the fringe Z \ zPrev stays for later
 				// stages, keeping the degree bound.
 				var y Cluster
+				//costsense:nondet-ok append order is erased by normalize (sort+dedup) below
 				for i := range z {
 					y = append(y, s[i]...)
 				}
 				out = append(out, y.normalize())
+				//costsense:nondet-ok deletion of a fixed key set; order cannot reach the result
 				for i := range zPrev {
 					delete(remaining, i)
 				}

@@ -114,6 +114,7 @@ func newPartitionGrowth(g *graph.Graph, growth float64) *Partition {
 		}
 	}
 	keys := make([][2]int, 0, len(best))
+	//costsense:nondet-ok keys are sorted immediately below before any use
 	for k := range best {
 		keys = append(keys, k)
 	}

@@ -84,6 +84,7 @@ func (tc *TreeCover) MaxEdgeLoad(g *graph.Graph) int {
 		}
 	}
 	m := 0
+	//costsense:nondet-ok max-reduction over values; order cannot reach the result
 	for _, c := range load {
 		if c > m {
 			m = c

@@ -27,8 +27,11 @@ func (x dijkItem) Less(y dijkItem) bool {
 }
 
 // Dijkstra computes single-source shortest paths from s.
+//
+//costsense:hotpath
 func Dijkstra(g *Graph, s NodeID) *ShortestPaths {
 	n := g.N()
+	//costsense:alloc-ok one result allocation per call, outside the relaxation loop
 	sp := &ShortestPaths{
 		Source: s,
 		Dist:   make([]int64, n),

@@ -107,6 +107,8 @@ func (x primItem) Less(y primItem) bool {
 // PrimTree computes a minimum spanning tree rooted at root. Only the
 // component of root is spanned. This is the centralized counterpart of
 // Algorithm MSTcentr (§6.3).
+//
+//costsense:hotpath
 func PrimTree(g *Graph, root NodeID) *Tree {
 	n := g.N()
 	parent := make([]NodeID, n)
@@ -115,6 +117,7 @@ func PrimTree(g *Graph, root NodeID) *Tree {
 		parent[i] = -1
 	}
 	h := pq.NewHeap[primItem](n)
+	//costsense:alloc-ok one closure per call, created outside the extraction loop
 	add := func(v NodeID) {
 		inTree[v] = true
 		for _, e := range g.Adj(v) {

@@ -21,6 +21,7 @@ func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	//costsense:nondet-ok sizes the worker pool only; results and errors are reported in index order
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

@@ -215,6 +215,12 @@ func (c *GHSCore) Wakeup(p basic.Port) {
 // Handle processes one message, then retries deferred messages.
 func (c *GHSCore) Handle(p basic.Port, from graph.NodeID, m sim.Message) {
 	if !c.dispatch(p, from, m) {
+		// GHS defers messages that arrive ahead of the local level
+		// (classic test/connect buffering). Payloads are immutable
+		// sender-constructed values today, so holding them across
+		// deliveries is safe; revisit when payloads move into a typed
+		// arena.
+		//costsense:retain-ok payloads are sender-owned immutable values, not arena-recycled yet
 		c.deferred = append(c.deferred, deferredMsg{from: from, m: m})
 	}
 	c.retryDeferred(p)

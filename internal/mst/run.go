@@ -2,6 +2,7 @@ package mst
 
 import (
 	"fmt"
+	"sort"
 
 	"costsense/internal/basic"
 	"costsense/internal/graph"
@@ -100,6 +101,7 @@ func extract(g *graph.Graph, cores []*GHSCore) (*Result, error) {
 		} else if c.Leader != leader {
 			return nil, fmt.Errorf("mst: node %d elected %d, others elected %d", v, c.Leader, leader)
 		}
+		//costsense:nondet-ok iteration order only staggers appends; edges are sorted before use below
 		for u, isBranch := range c.Branch {
 			if isBranch && graph.NodeID(v) < u {
 				// Verify symmetry of the branch marking.
@@ -113,6 +115,15 @@ func extract(g *graph.Graph, cores []*GHSCore) (*Result, error) {
 	if len(edges) != g.N()-1 {
 		return nil, fmt.Errorf("mst: found %d branch edges, want %d", len(edges), g.N()-1)
 	}
+	// The branch maps yield edges in randomized order (caught by
+	// costsense-vet's detmap); fix Result.Edges so identical runs are
+	// byte-identical.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
 	return &Result{Edges: edges, Leader: leader}, nil
 }
 

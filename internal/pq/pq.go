@@ -40,6 +40,8 @@ func (h *Heap[T]) Len() int { return len(h.a) }
 
 // Push adds x to the heap. O(log_4 n), allocation-free except for
 // amortized slice growth.
+//
+//costsense:hotpath
 func (h *Heap[T]) Push(x T) {
 	h.a = append(h.a, x)
 	h.up(len(h.a) - 1)
@@ -47,6 +49,8 @@ func (h *Heap[T]) Push(x T) {
 
 // Pop removes and returns the minimum element. It panics on an empty
 // heap, like an out-of-range slice access.
+//
+//costsense:hotpath
 func (h *Heap[T]) Pop() T {
 	a := h.a
 	min := a[0]
@@ -63,6 +67,8 @@ func (h *Heap[T]) Pop() T {
 
 // Peek returns the minimum element without removing it. It panics on an
 // empty heap.
+//
+//costsense:hotpath
 func (h *Heap[T]) Peek() T { return h.a[0] }
 
 // Reset empties the heap, keeping the underlying storage for reuse.
@@ -74,6 +80,7 @@ func (h *Heap[T]) Reset() {
 	h.a = h.a[:0]
 }
 
+//costsense:hotpath
 func (h *Heap[T]) up(i int) {
 	a := h.a
 	x := a[i]
@@ -93,6 +100,8 @@ func (h *Heap[T]) up(i int) {
 // comparisons per level), then x sifts up from the leaf (x is the
 // former last element, so this almost always stops immediately). This
 // saves the min-child-vs-x comparison per level of the textbook loop.
+//
+//costsense:hotpath
 func (h *Heap[T]) down(i int) {
 	a := h.a
 	n := len(a)

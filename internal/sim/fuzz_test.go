@@ -121,3 +121,57 @@ func TestEngineDeterminismUnderChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// FuzzEngineChaos is the native fuzz entry for the same engine
+// invariants: the fuzzer mutates the topology/seed/budget tuple, and
+// for every input the run must account exactly what the processes
+// sent, finish at a delivery time, and replay bit-identically. The
+// seed corpus is checked in under testdata/fuzz/FuzzEngineChaos so CI
+// and fresh clones exercise known-interesting engine regimes (tiny
+// rings, parallel-edge multigraphs, heavy congestion) without a long
+// fuzzing session.
+func FuzzEngineChaos(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(1), uint8(0))
+	f.Add(int64(21), uint8(12), uint8(8), uint8(1))
+	f.Add(int64(-7), uint8(30), uint8(20), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, budgetRaw, delayKind uint8) {
+		n := 2 + int(nRaw)%30
+		budget := 1 + int(budgetRaw)%20
+		delay := []DelayModel{DelayMax{}, DelayUnit{}, DelayUniform{}}[int(delayKind)%3]
+		rng := rand.New(rand.NewSource(seed))
+		m := n - 1 + rng.Intn(2*n)
+		g := graph.RandomConnected(n, m, graph.UniformWeights(1+rng.Int63n(40), seed), seed)
+
+		runOnce := func() (*Stats, []*chaosProc) {
+			procs := make([]Process, n)
+			cs := make([]*chaosProc, n)
+			for v := range procs {
+				cs[v] = &chaosProc{rng: rand.New(rand.NewSource(seed + int64(v))), budget: budget}
+				procs[v] = cs[v]
+			}
+			stats, err := Run(g, procs, WithDelay(delay), WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return stats, cs
+		}
+		s1, cs1 := runOnce()
+		var wantComm, wantMsgs int64
+		for _, c := range cs1 {
+			wantComm += c.sent
+			wantMsgs += c.msgs
+		}
+		if s1.Comm != wantComm || s1.Messages != wantMsgs {
+			t.Fatalf("accounting mismatch: engine comm=%d msgs=%d, processes sent comm=%d msgs=%d",
+				s1.Comm, s1.Messages, wantComm, wantMsgs)
+		}
+		if s1.Messages > 0 && s1.FinishTime <= 0 {
+			t.Fatalf("%d messages delivered but FinishTime=%d", s1.Messages, s1.FinishTime)
+		}
+		s2, _ := runOnce()
+		if s1.Comm != s2.Comm || s1.Messages != s2.Messages ||
+			s1.FinishTime != s2.FinishTime || s1.Events != s2.Events {
+			t.Fatalf("nondeterministic replay: run1=%+v run2=%+v", s1, s2)
+		}
+	})
+}

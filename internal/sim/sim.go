@@ -187,6 +187,8 @@ type event struct {
 // Less orders events by (time, send sequence): the unique sequence
 // number makes the order total, so runs are deterministic no matter how
 // the queue breaks ties internally.
+//
+//costsense:hotpath
 func (e event) Less(f event) bool {
 	if e.at != f.at {
 		return e.at < f.at
@@ -382,6 +384,8 @@ func (n *Network) internClass(c Class) int {
 // classID is the hot-path class lookup: the standard classes resolve by
 // constant-string comparison (pointer-equal for the package constants),
 // protocol-defined classes fall back to the interning map.
+//
+//costsense:hotpath
 func (n *Network) classID(c Class) int {
 	switch c {
 	case ClassProto:
@@ -421,6 +425,8 @@ func (c *nodeCtx) Record(key string, value int64) {
 // half resolves the directed half-edge from -> to, or nil when the
 // vertices are not adjacent. Leftmost binary search: parallel edges
 // resolve to the lowest edge ID.
+//
+//costsense:hotpath
 func (n *Network) half(from, to graph.NodeID) *halfEdge {
 	idx := n.nbr[from]
 	lo, hi := 0, len(idx)
@@ -438,9 +444,15 @@ func (n *Network) half(from, to graph.NodeID) *halfEdge {
 	return &idx[lo]
 }
 
+// send is the per-message hot path: resolve the half-edge, account the
+// cost, pick the delay, and schedule the delivery — no allocations
+// beyond amortized growth of the queue and the payload arena.
+//
+//costsense:hotpath
 func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 	h := n.half(from, to)
 	if h == nil {
+		//costsense:alloc-ok cold path: a non-neighbor send is a protocol bug and panics immediately
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", from, to))
 	}
 	w := h.w
@@ -490,8 +502,11 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 // Run initializes every process at time 0 and drives the event queue to
 // quiescence. It returns the accumulated statistics. Run may be called
 // once per Network; a second call returns an error.
+//
+//costsense:hotpath
 func (n *Network) Run() (*Stats, error) {
 	if n.ran {
+		//costsense:alloc-ok cold path: constructing the reuse error, run over
 		return nil, fmt.Errorf("sim: Run called twice on the same Network")
 	}
 	n.ran = true
@@ -500,6 +515,7 @@ func (n *Network) Run() (*Stats, error) {
 	}
 	for n.queue.Len() > 0 {
 		if n.stats.Events >= n.eventLimit {
+			//costsense:alloc-ok cold path: constructing the divergence error, run over
 			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%d (diverging protocol?)", n.eventLimit, n.now)
 		}
 		ev := n.queue.Pop()
@@ -514,6 +530,7 @@ func (n *Network) Run() (*Stats, error) {
 	// Materialize the public per-class view from the dense counters.
 	// Only classes that carried traffic appear, matching the map the
 	// accounting used to maintain inline.
+	//costsense:alloc-ok one allocation per run, after the event loop has drained
 	n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
 	for i, cs := range n.classStats {
 		if cs.Messages > 0 {

@@ -7,6 +7,13 @@
 # baseline. Run from the repository root:
 #
 #   ./scripts/bench.sh
+#
+# Guard mode diffs a fresh measurement against the checked-in
+# BENCH_sim.json instead of overwriting it, and fails when allocs/op
+# regresses by more than 15% (events/sec is reported but not gated —
+# CI timing is too noisy). CI's bench-smoke job runs this:
+#
+#   BENCH_CHECK=1 ./scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,9 +21,18 @@ cd "$(dirname "$0")/.."
 COUNT="${BENCH_COUNT:-3}"
 OUT="${BENCH_OUT:-BENCH_sim.json}"
 
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+	OUT="$(mktemp -t bench_fresh.XXXXXX.json)"
+	trap 'rm -f "$OUT"' EXIT
+fi
+
 go test -run '^$' -bench '^BenchmarkEngineFlood$' -benchmem \
 	-benchtime "${BENCH_TIME:-5x}" -count "$COUNT" . |
 	tee /dev/stderr |
 	go run ./scripts/benchjson >"$OUT"
 
-echo "wrote $OUT" >&2
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+	go run ./scripts/benchguard BENCH_sim.json "$OUT" "${BENCH_MAX_ALLOCS_REGRESS:-0.15}"
+else
+	echo "wrote $OUT" >&2
+fi
