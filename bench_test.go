@@ -384,6 +384,32 @@ func BenchmarkEngineFlood(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkEngineObserved is BenchmarkEngineFlood with the full metrics
+// observer attached — the cost of instrumentation, measured against the
+// nil-observer baseline above. scripts/bench.sh records both so the
+// observer overhead (and the baseline's continued 0 allocs/op) is
+// tracked across PRs; the per-event allocations stay amortized
+// (preallocated edge arrays, growing series slices).
+func BenchmarkEngineObserved(b *testing.B) {
+	g := costsense.RandomConnected(5000, 40000, costsense.UniformWeights(64, 21), 21)
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := costsense.NewMetricsObserver(g)
+		res, err := costsense.RunFlood(g, 0, costsense.WithObserver(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, load := m.MaxEdgeLoad(); load == 0 {
+			b.Fatal("observer recorded nothing")
+		}
+		events += res.Stats.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 func itoa(v int64) string {
 	if v == 0 {
 		return "0"

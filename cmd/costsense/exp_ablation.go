@@ -34,7 +34,7 @@ func expAblation(w *tabwriter.Writer) {
 	}
 	fmt.Fprintln(w, "tree\tw(T)\tdepth(T)\tC(β)/pulse\tT(β)/pulse")
 	for _, tc := range trees {
-		ov := must(synch.RunBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, tc.t))
+		ov := must(synch.RunBetaTree(g, costsense.NewSPTSyncProcs(g, hub), pulses, tc.t, instrOpts(g)...))
 		fmt.Fprintf(w, "%s\t%d\t%d\t%.0f\t%.0f\n",
 			tc.name, tc.t.Weight(), tc.t.Height(), ov.CommPerPulse, ov.TimePerPulse)
 	}

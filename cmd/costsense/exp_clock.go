@@ -29,7 +29,7 @@ func expClock(w *tabwriter.Writer) {
 		g := c.g
 		alpha := must(costsense.RunClockAlpha(g, pulses))
 		beta := must(costsense.RunClockBeta(g, pulses))
-		gamma := must(costsense.RunClockGamma(g, pulses))
+		gamma := must(costsense.RunClockGamma(g, pulses, instrOpts(g)...))
 		for _, r := range []*costsense.ClockResult{alpha, beta, gamma} {
 			if err := r.CausalOK(g); err != nil {
 				panic(err)

@@ -25,7 +25,12 @@ func expFig2(w *tabwriter.Writer) {
 		// middle ground
 		{"rand-40-150", costsense.RandomConnected(40, 150, costsense.UniformWeights(40, 3), 3)},
 	}
-	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+	// The sweep below runs in parallel; record the representative
+	// -trace/-metrics execution serially, up front.
+	if o := instrOpts(cases[0].g); o != nil {
+		must(costsense.RunCONHybrid(cases[0].g, 0, o...))
+	}
+	rows := must(runTrials(len(cases), func(i int) (string, error) {
 		c := cases[i]
 		g := c.g
 		ee := g.TotalWeight()
@@ -56,7 +61,7 @@ func expFig2(w *tabwriter.Writer) {
 func expLowerBound(w *tabwriter.Writer) {
 	fmt.Fprintln(w, "n\tX\t𝓔 (≈nX⁴)\tn𝓥 (≈n²X)\tflood\tDFS\tMSTcentr\thybrid\tMSTcentr/n𝓥")
 	sizes := []int{12, 16, 24, 32, 48}
-	rows := must(costsense.RunTrials(len(sizes), func(i int) (string, error) {
+	rows := must(runTrials(len(sizes), func(i int) (string, error) {
 		n := sizes[i]
 		rep, err := costsense.RunGnExperiment(n, int64(n))
 		if err != nil {

@@ -28,7 +28,7 @@ func expController(w *tabwriter.Writer) {
 		g := c.g
 		// Threshold: the schedule-free flood bound c_π <= 2𝓔.
 		cpi := 2 * g.TotalWeight()
-		res, _, err := costsense.RunControlled(g, floodProcs(g), 0, cpi)
+		res, _, err := costsense.RunControlled(g, floodProcs(g), 0, cpi, instrOpts(g)...)
 		if err != nil {
 			panic(err)
 		}

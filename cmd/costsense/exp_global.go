@@ -39,7 +39,7 @@ func expFig1(w *tabwriter.Writer) {
 		for i := range inputs {
 			inputs[i] = rng.Int63n(1000)
 		}
-		res, _, err := costsense.ComputeViaSLT(g, 0, 2, inputs, costsense.Sum)
+		res, _, err := costsense.ComputeViaSLT(g, 0, 2, inputs, costsense.Sum, instrOpts(g)...)
 		if err != nil {
 			panic(err)
 		}

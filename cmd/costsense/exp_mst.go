@@ -21,7 +21,12 @@ func expFig3(w *tabwriter.Writer) {
 		{"Gn-20", costsense.HardConnectivity(20, 20)},
 		{"heavystar-32", heavyStar(32, 4096)},
 	}
-	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+	// The sweep below runs in parallel; record the representative
+	// -trace/-metrics execution serially, up front.
+	if o := instrOpts(cases[0].g); o != nil {
+		must(costsense.RunGHS(cases[0].g, o...))
+	}
+	rows := must(runTrials(len(cases), func(i int) (string, error) {
 		c := cases[i]
 		g := c.g
 		ee := g.TotalWeight()

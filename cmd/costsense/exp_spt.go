@@ -20,7 +20,12 @@ func expFig4(w *tabwriter.Writer) {
 		{"grid-6x6", costsense.Grid(6, 6, costsense.UniformWeights(16, 3))},
 		{"chord-32", costsense.HeavyChordRing(32, 64)},
 	}
-	rows := must(costsense.RunTrials(len(cases), func(i int) (string, error) {
+	// The sweep below runs in parallel; record the representative
+	// -trace/-metrics execution serially, up front.
+	if o := instrOpts(cases[0].g); o != nil {
+		must(costsense.RunSPTRecur(cases[0].g, 0, costsense.DefaultStripLen(cases[0].g, 0), o...))
+	}
+	rows := must(runTrials(len(cases), func(i int) (string, error) {
 		c := cases[i]
 		g := c.g
 		n := int64(g.N())
@@ -74,7 +79,7 @@ func expStrips(w *tabwriter.Writer) {
 	fmt.Fprintf(w, "grid-8x8, 𝓓=%d, 𝓔=%d\n\n", dd, g.TotalWeight())
 	fmt.Fprintln(w, "strip ℓ\tstrips\ttotal comm\tsync comm\tproto comm\ttime")
 	for _, l := range []int64{1, 2, 4, 8, 16, 32, dd + 1} {
-		res := must(costsense.RunSPTRecur(g, 0, l))
+		res := must(costsense.RunSPTRecur(g, 0, l, instrOpts(g)...))
 		strips := (dd + l - 1) / l
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\n",
 			l, strips, res.Stats.Comm,

@@ -19,7 +19,7 @@ func expSynch(w *tabwriter.Writer) {
 		pulses := costsense.Diameter(g) + 2
 		a := must(costsense.RunSynchAlpha(g, costsense.NewSPTSyncProcs(g, 0), pulses))
 		b := must(costsense.RunSynchBeta(g, costsense.NewSPTSyncProcs(g, 0), pulses))
-		c := must(costsense.RunSynchGammaW(g, costsense.NewSPTSyncProcs(g, 0), pulses, 2))
+		c := must(costsense.RunSynchGammaW(g, costsense.NewSPTSyncProcs(g, 0), pulses, 2, instrOpts(g)...))
 		logW := math.Log2(64)
 		fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.2f\t%.0f\t%.0f\n",
 			n, g.TotalWeight(), a.CommPerPulse, b.CommPerPulse, c.CommPerPulse,

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	costsense exp <id>     run one experiment
-//	costsense exp all      run every experiment
-//	costsense list         list experiment ids
+//	costsense [flags] exp <id>     run one experiment
+//	costsense [flags] exp all      run every experiment
+//	costsense list                 list experiment ids
+//
+// Observability flags (see DESIGN.md, "Observability"):
+//
+//	-trace f.json     record one representative run per experiment as
+//	                  Chrome trace_event JSON (Perfetto / about:tracing)
+//	-metrics f.json   per-edge and per-class metrics of that run
+//	-progress         per-sweep progress lines (done/total, ETA) on stderr
+//	-http addr        serve expvar (/debug/vars) and pprof (/debug/pprof)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -51,6 +60,20 @@ func main() {
 }
 
 func run(args []string) error {
+	fs := flag.NewFlagSet("costsense", flag.ContinueOnError)
+	fs.StringVar(&instr.tracePath, "trace", "", "write a Chrome trace_event JSON of one representative run per experiment to `file`")
+	fs.StringVar(&instr.metricsPath, "metrics", "", "write per-edge/per-class metrics JSON of that run to `file`")
+	fs.BoolVar(&instr.progress, "progress", false, "report sweep progress (trials done/total, ETA) on stderr")
+	fs.StringVar(&instr.httpAddr, "http", "", "serve expvar and pprof on `addr` (e.g. localhost:6060)")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	args = fs.Args()
+	instr.multi = false
+	if instr.httpAddr != "" {
+		go serveDebug(instr.httpAddr)
+	}
 	exps := experiments()
 	if len(args) == 0 {
 		return usage()
@@ -75,8 +98,11 @@ func run(args []string) error {
 			ids = append(ids, e.id)
 		}
 		if want == "all" {
+			instr.multi = true
 			for _, e := range exps {
-				runOne(e)
+				if err := runOne(e); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
@@ -85,23 +111,24 @@ func run(args []string) error {
 			sort.Strings(ids)
 			return fmt.Errorf("unknown experiment %q (have %v)", want, ids)
 		}
-		runOne(e)
-		return nil
+		return runOne(e)
 	default:
 		return usage()
 	}
 }
 
-func runOne(e experiment) {
+func runOne(e experiment) error {
+	instr.begin(e.id)
 	fmt.Printf("== %s: %s\n\n", e.id, e.title)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	e.run(w)
 	w.Flush()
 	fmt.Println()
+	return instr.flush()
 }
 
 func usage() error {
-	return fmt.Errorf("usage: costsense {list | exp <id> | exp all | verify}")
+	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] {list | exp <id> | exp all | verify}")
 }
 
 // ratio formats a measured/bound quotient.

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -79,6 +82,59 @@ func TestCLIDispatch(t *testing.T) {
 	}
 	if err := run([]string{"bogus"}); err == nil {
 		t.Fatal("unknown command should error")
+	}
+}
+
+// TestObservabilityFlags runs a driver end to end with -trace and
+// -metrics and checks both artifacts are written and parse as JSON.
+func TestObservabilityFlags(t *testing.T) {
+	defer func() { instr = instruments{} }() // don't leak flag state into other tests
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	if err := run([]string{"-trace", trace, "-metrics", metrics, "exp", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{trace, metrics} {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			t.Fatalf("%s is not valid JSON: %v", p, err)
+		}
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	data, _ := os.ReadFile(trace)
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatal(err)
+	}
+	slices := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Error("trace has no message slices")
+	}
+	// A second identical invocation must produce byte-identical exports.
+	trace2 := filepath.Join(dir, "trace2.json")
+	metrics2 := filepath.Join(dir, "metrics2.json")
+	if err := run([]string{"-trace", trace2, "-metrics", metrics2, "exp", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{trace, trace2}, {metrics, metrics2}} {
+		a, _ := os.ReadFile(pair[0])
+		b, _ := os.ReadFile(pair[1])
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s and %s differ between identical invocations", pair[0], pair[1])
+		}
 	}
 }
 

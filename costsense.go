@@ -47,6 +47,7 @@ import (
 	"costsense/internal/graph"
 	"costsense/internal/harness"
 	"costsense/internal/mst"
+	"costsense/internal/obs"
 	"costsense/internal/route"
 	"costsense/internal/sim"
 	"costsense/internal/slt"
@@ -64,6 +65,14 @@ import (
 // trial must build its own Network (Run is once-per-Network).
 func RunTrials[T any](n int, trial func(int) (T, error)) ([]T, error) {
 	return harness.RunIndexed(n, trial)
+}
+
+// RunTrialsObserved is RunTrials with an optional progress sink (see
+// TrialSink); a nil sink adds no overhead. The sink hears scheduling
+// (completion order, wall time) as telemetry only — results are
+// identical to RunTrials.
+func RunTrialsObserved[T any](n int, trial func(int) (T, error), sink TrialSink) ([]T, error) {
+	return harness.RunIndexedObserved(n, trial, sink)
 }
 
 // Graph model (internal/graph).
@@ -160,6 +169,46 @@ var (
 	// the link model behind the congestion factors in the paper's time
 	// bounds.
 	WithCongestion = sim.WithCongestion
+)
+
+// Observability (internal/obs). Observers are optional: a Network
+// without one keeps the allocation-free hot path, and an observed run
+// replays the identical event sequence.
+type (
+	// Observer receives simulator probe callbacks (see sim.Observer
+	// for the retention and reentrancy contract).
+	Observer = sim.Observer
+	// SendEvent describes one message entering its edge.
+	SendEvent = sim.SendEvent
+	// DeliverEvent describes one message leaving its edge.
+	DeliverEvent = sim.DeliverEvent
+	// MetricsObserver records per-edge counters and per-class
+	// cumulative series with deterministic JSON/CSV export.
+	MetricsObserver = obs.Metrics
+	// MetricsSnapshot is the exportable view of one observed run.
+	MetricsSnapshot = obs.Snapshot
+	// TraceObserver records message lifetimes and exports Chrome
+	// trace_event JSON (Perfetto / about:tracing).
+	TraceObserver = obs.Trace
+	// TrialSink receives per-trial telemetry from RunTrialsObserved.
+	TrialSink = harness.Sink
+	// ProgressMeter is the bundled TrialSink printing done/total,
+	// per-trial wall time and ETA.
+	ProgressMeter = obs.Progress
+)
+
+// Observability constructors.
+var (
+	// WithObserver attaches an Observer to a Network.
+	WithObserver = sim.WithObserver
+	// NewMetricsObserver builds a MetricsObserver for one run over g.
+	NewMetricsObserver = obs.NewMetrics
+	// NewTraceObserver builds a TraceObserver for one run over g.
+	NewTraceObserver = obs.NewTrace
+	// NewTeeObserver composes observers; nil entries are dropped.
+	NewTeeObserver = obs.NewTee
+	// NewProgressMeter builds a ProgressMeter writing to w.
+	NewProgressMeter = obs.NewProgress
 )
 
 // Delay models.

@@ -14,11 +14,14 @@ import (
 // would observe a recycled value the moment payloads themselves move
 // into a typed arena (the planned follow-up to the PR 1 event arena).
 //
-// The analyzer applies to any method named Handle whose last parameter
-// is sim.Message. Within the body it tracks the message parameter and
-// simple local aliases of it (including type assertions) and reports
-// stores that escape the call. Forwarding the message — passing it to
-// ctx.Send or another function — transfers ownership and stays legal.
+// The analyzer applies to any method named Handle, OnSend or OnDeliver
+// whose last parameter is sim.Message — protocol handlers and observer
+// probes alike (sim.Observer callbacks see the in-flight payload under
+// the same no-retention contract). Within the body it tracks the
+// message parameter and simple local aliases of it (including type
+// assertions) and reports stores that escape the call. Forwarding the
+// message — passing it to ctx.Send or another function — transfers
+// ownership and stays legal.
 //
 // Sites audited as safe today (payloads are still sender-owned heap
 // values) carry `//costsense:retain-ok <why>` so the migration has a
@@ -35,7 +38,12 @@ func runArenaref(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || fd.Name.Name != "Handle" {
+			if !ok || fd.Body == nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Handle", "OnSend", "OnDeliver":
+			default:
 				continue
 			}
 			msg := messageParam(pass, fd)

@@ -68,3 +68,36 @@ func (a *Audited) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
 type NotAHandler struct{ saved int }
 
 func (n *NotAHandler) Handle(v int) { n.saved = v }
+
+// LeakyObserver is a sim.Observer that illegally retains the in-flight
+// payload: observer probes see arena messages under the same
+// no-retention contract as protocol handlers.
+type LeakyObserver struct {
+	payloads []sim.Message
+	last     sim.Message
+}
+
+func (o *LeakyObserver) OnSend(e sim.SendEvent, m sim.Message) {
+	o.payloads = append(o.payloads, m) // want "stores arena message m into o.payloads"
+}
+
+func (o *LeakyObserver) OnDeliver(e sim.DeliverEvent, m sim.Message) {
+	o.last = m // want "stores arena message m into o.last"
+}
+
+// CleanObserver only reads scalar event fields and copies payload data
+// out by value: quiet. Discarding the payload with _ opts out entirely.
+type CleanObserver struct {
+	sends, sum int
+}
+
+func (o *CleanObserver) OnSend(e sim.SendEvent, m sim.Message) {
+	o.sends++
+	if pl, ok := m.(*payload); ok {
+		o.sum += pl.n // copying a field out is fine
+	}
+}
+
+func (o *CleanObserver) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
+	o.sends--
+}

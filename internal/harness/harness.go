@@ -11,6 +11,20 @@ import (
 	"sync/atomic"
 )
 
+// Sink receives per-trial telemetry from an indexed run. Callbacks
+// fire from worker goroutines in completion order — which is
+// scheduler-dependent — so a Sink must be safe for concurrent use and
+// must treat what it hears as telemetry, never as input to results
+// (the results themselves stay index-ordered and deterministic).
+// internal/obs.Progress is the bundled implementation.
+type Sink interface {
+	// TrialStart fires as a worker picks up trial index.
+	TrialStart(index int)
+	// TrialDone fires after trial index completes; done counts
+	// finished trials (1..total) and total is the sweep size.
+	TrialDone(index, done, total int)
+}
+
 // RunIndexed evaluates fn(0..n-1) on min(GOMAXPROCS, n) workers and
 // returns the results in index order. Every index runs even when some
 // fail; if any call fails, RunIndexed returns the error of the failing
@@ -18,6 +32,13 @@ import (
 // error are therefore independent of goroutine scheduling. fn must be
 // safe for concurrent calls with distinct indices.
 func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
+	return RunIndexedObserved(n, fn, nil)
+}
+
+// RunIndexedObserved is RunIndexed with an optional progress sink; a
+// nil sink adds no overhead. The sink observes scheduling (completion
+// order, wall time); the returned results are identical to RunIndexed.
+func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -28,7 +49,7 @@ func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
 	}
 	out := make([]T, n)
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, done atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -39,7 +60,13 @@ func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
 				if i >= n {
 					return
 				}
+				if sink != nil {
+					sink.TrialStart(i)
+				}
 				out[i], errs[i] = fn(i)
+				if sink != nil {
+					sink.TrialDone(i, int(done.Add(1)), n)
+				}
 			}
 		}()
 	}

@@ -115,3 +115,63 @@ func TestRunIndexedDeterministicAcrossRuns(t *testing.T) {
 		}
 	}
 }
+
+// recordingSink collects sink callbacks; concurrency-safe via atomics.
+type recordingSink struct {
+	starts [64]atomic.Int64
+	dones  [64]atomic.Int64
+	peak   atomic.Int64
+	total  atomic.Int64
+	badSeq atomic.Int64
+}
+
+func (s *recordingSink) TrialStart(i int) { s.starts[i].Add(1) }
+
+func (s *recordingSink) TrialDone(i, done, total int) {
+	if s.starts[i].Load() != 1 {
+		s.badSeq.Add(1) // done before start
+	}
+	s.dones[i].Add(1)
+	s.total.Store(int64(total))
+	for {
+		p := s.peak.Load()
+		if int64(done) <= p || s.peak.CompareAndSwap(p, int64(done)) {
+			break
+		}
+	}
+}
+
+func TestRunIndexedObservedSink(t *testing.T) {
+	const n = 64
+	sink := &recordingSink{}
+	got, err := RunIndexedObserved(n, func(i int) (int, error) { return i * 3, nil }, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("got[%d] = %d: sink must not perturb results", i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s, d := sink.starts[i].Load(), sink.dones[i].Load(); s != 1 || d != 1 {
+			t.Errorf("index %d: %d starts, %d dones, want 1/1", i, s, d)
+		}
+	}
+	if sink.peak.Load() != n {
+		t.Errorf("max done = %d, want %d", sink.peak.Load(), n)
+	}
+	if sink.total.Load() != n {
+		t.Errorf("total reported %d, want %d", sink.total.Load(), n)
+	}
+	if sink.badSeq.Load() != 0 {
+		t.Error("TrialDone fired before TrialStart for some index")
+	}
+}
+
+func TestRunIndexedObservedNilSink(t *testing.T) {
+	got, err := RunIndexedObserved(10, func(i int) (int, error) { return i, nil }, nil)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("nil sink run = (%v, %v)", got, err)
+	}
+}

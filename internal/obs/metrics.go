@@ -1,0 +1,304 @@
+// Package obs is the simulator's optional observability layer: bundled
+// sim.Observer implementations that turn a run's internal dynamics —
+// per-edge load, per-class cost growth, message lifetimes — into
+// deterministic, exportable artifacts, plus the experiment-harness
+// progress telemetry.
+//
+// The paper's whole subject is *measuring* protocols: weighted
+// communication c_π, completion time t_π, and the congestion factors
+// hiding inside the time bounds (the extra log n in γ*'s pulse delay
+// comes from edges shared by O(log n) cover trees). End-of-run totals
+// cannot show any of that; these observers can, without perturbing the
+// run (probes are branch-only on the unobserved path, and observed
+// runs replay the identical event sequence).
+//
+// Determinism contract: every export (JSON, CSV, Chrome trace) is
+// byte-identical across runs of the same seed — all collections are
+// dense slices in event or edge-ID order, never map iterations.
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Point is one sample of a cumulative per-class time series.
+type Point struct {
+	T int64 `json:"t"` // simulated time
+	V int64 `json:"v"` // cumulative value at T
+}
+
+// EdgeCounters aggregates one edge's traffic over a run.
+type EdgeCounters struct {
+	Messages    int64 // transmissions over the edge (both directions)
+	Comm        int64 // weighted communication: Messages x w(e)
+	Busy        int64 // Σ transit delay: time spent carrying messages
+	Wait        int64 // Σ FIFO/congestion queueing before transit began
+	MaxInFlight int32 // peak simultaneous in-flight messages
+}
+
+// classSeries is the dense per-class accumulator.
+type classSeries struct {
+	class     sim.Class
+	messages  int64
+	comm      int64
+	delivered int64
+	commPts   []Point // cumulative c_π(t), one point per distinct send time
+	delivPts  []Point // cumulative deliveries, one point per distinct delivery time
+}
+
+// Metrics is a sim.Observer recording per-edge counters and per-class
+// cumulative time series into dense, preallocated buffers. One Metrics
+// instruments one run; build a fresh one per Network.
+type Metrics struct {
+	g        *graph.Graph
+	edges    []EdgeCounters // indexed by EdgeID
+	inflight []int32        // current in-flight per edge
+	classes  []classSeries
+	classIdx map[sim.Class]int
+	classOf  []uint16 // seq-1 -> class index; sends are dense, so this is too
+	finish   int64
+	quiesced bool
+}
+
+var _ sim.Observer = (*Metrics)(nil)
+
+// NewMetrics builds a metrics observer for one run over g.
+func NewMetrics(g *graph.Graph) *Metrics {
+	return &Metrics{
+		g:        g,
+		edges:    make([]EdgeCounters, g.M()),
+		inflight: make([]int32, g.M()),
+		classes:  make([]classSeries, 0, 8),
+		classIdx: make(map[sim.Class]int, 8),
+		classOf:  make([]uint16, 0, 2*g.M()),
+	}
+}
+
+// classID interns a class; the map read is allocation-free, the
+// first-sight insert is once per class.
+//
+//costsense:hotpath
+func (m *Metrics) classID(c sim.Class) int {
+	if id, ok := m.classIdx[c]; ok {
+		return id
+	}
+	return m.addClass(c)
+}
+
+// addClass is the once-per-class cold path of classID.
+func (m *Metrics) addClass(c sim.Class) int {
+	id := len(m.classes)
+	if id > 0xFFFF {
+		panic("obs: more than 65536 message classes")
+	}
+	m.classes = append(m.classes, classSeries{class: c})
+	m.classIdx[c] = id
+	return id
+}
+
+// OnSend accounts the transmission on its edge and class. Amortized
+// slice growth only; no per-event allocation.
+//
+//costsense:hotpath
+func (m *Metrics) OnSend(e sim.SendEvent, _ sim.Message) {
+	ec := &m.edges[e.Edge]
+	ec.Messages++
+	ec.Comm += e.W
+	ec.Busy += e.Delay
+	ec.Wait += e.Wait()
+	m.inflight[e.Edge]++
+	if m.inflight[e.Edge] > ec.MaxInFlight {
+		ec.MaxInFlight = m.inflight[e.Edge]
+	}
+	ci := m.classID(e.Class)
+	cs := &m.classes[ci]
+	cs.messages++
+	cs.comm += e.W
+	if k := len(cs.commPts); k > 0 && cs.commPts[k-1].T == e.Time {
+		cs.commPts[k-1].V = cs.comm // coalesce same-time samples
+	} else {
+		cs.commPts = append(cs.commPts, Point{T: e.Time, V: cs.comm})
+	}
+	m.classOf = append(m.classOf, uint16(ci))
+}
+
+// OnDeliver retires the message from its edge and samples the class's
+// delivery series.
+//
+//costsense:hotpath
+func (m *Metrics) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
+	m.inflight[e.Edge]--
+	cs := &m.classes[m.classOf[e.Seq-1]]
+	cs.delivered++
+	if k := len(cs.delivPts); k > 0 && cs.delivPts[k-1].T == e.Time {
+		cs.delivPts[k-1].V = cs.delivered
+	} else {
+		cs.delivPts = append(cs.delivPts, Point{T: e.Time, V: cs.delivered})
+	}
+}
+
+// OnRecord is ignored; Record traces stay on the Network.
+func (m *Metrics) OnRecord(graph.NodeID, int64, string, int64) {}
+
+// OnQuiesce captures the completion time.
+func (m *Metrics) OnQuiesce(s *sim.Stats) {
+	m.finish = s.FinishTime
+	m.quiesced = true
+}
+
+// EdgeMetric is the exportable per-edge row.
+type EdgeMetric struct {
+	Edge        int   `json:"edge"`
+	U           int   `json:"u"`
+	V           int   `json:"v"`
+	W           int64 `json:"w"`
+	Messages    int64 `json:"messages"`
+	Comm        int64 `json:"comm"`
+	Busy        int64 `json:"busy"`
+	Wait        int64 `json:"wait"`
+	MaxInFlight int32 `json:"max_in_flight"`
+}
+
+// ClassMetric is the exportable per-class aggregate plus its series.
+type ClassMetric struct {
+	Class       string  `json:"class"`
+	Messages    int64   `json:"messages"`
+	Comm        int64   `json:"comm"`
+	Delivered   int64   `json:"delivered"`
+	CommSeries  []Point `json:"comm_series"`
+	DelivSeries []Point `json:"deliveries_series"`
+}
+
+// Snapshot is the full exportable view of one observed run. All slices
+// are sorted (edges by ID, classes by name), so encoding/json output
+// is byte-deterministic.
+type Snapshot struct {
+	Nodes      int           `json:"nodes"`
+	EdgesTotal int           `json:"edges_total"`
+	FinishTime int64         `json:"finish_time"`
+	Quiesced   bool          `json:"quiesced"`
+	Edges      []EdgeMetric  `json:"edges"`
+	Classes    []ClassMetric `json:"classes"`
+}
+
+// Snapshot materializes the current counters. Edges that carried no
+// traffic are included (zero rows), so row i is always edge i.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Nodes:      m.g.N(),
+		EdgesTotal: m.g.M(),
+		FinishTime: m.finish,
+		Quiesced:   m.quiesced,
+		Edges:      make([]EdgeMetric, m.g.M()),
+		Classes:    make([]ClassMetric, 0, len(m.classes)),
+	}
+	for i, ec := range m.edges {
+		e := m.g.Edge(graph.EdgeID(i))
+		s.Edges[i] = EdgeMetric{
+			Edge: i, U: int(e.U), V: int(e.V), W: e.W,
+			Messages: ec.Messages, Comm: ec.Comm, Busy: ec.Busy,
+			Wait: ec.Wait, MaxInFlight: ec.MaxInFlight,
+		}
+	}
+	for _, cs := range m.classes {
+		s.Classes = append(s.Classes, ClassMetric{
+			Class: string(cs.class), Messages: cs.messages, Comm: cs.comm,
+			Delivered: cs.delivered, CommSeries: cs.commPts, DelivSeries: cs.delivPts,
+		})
+	}
+	sort.Slice(s.Classes, func(i, j int) bool { return s.Classes[i].Class < s.Classes[j].Class })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Byte-deterministic
+// for a fixed seed: structs and sorted slices only.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}
+
+// WriteEdgeCSV writes one CSV row per edge, in edge-ID order.
+func (m *Metrics) WriteEdgeCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"edge", "u", "v", "w", "messages", "comm", "busy", "wait", "max_in_flight"}); err != nil {
+		return err
+	}
+	for _, e := range m.Snapshot().Edges {
+		row := []string{
+			strconv.Itoa(e.Edge), strconv.Itoa(e.U), strconv.Itoa(e.V),
+			strconv.FormatInt(e.W, 10), strconv.FormatInt(e.Messages, 10),
+			strconv.FormatInt(e.Comm, 10), strconv.FormatInt(e.Busy, 10),
+			strconv.FormatInt(e.Wait, 10), strconv.Itoa(int(e.MaxInFlight)),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MaxEdgeLoad returns the largest message count on any single edge —
+// the congestion quantity the γ* analysis bounds by the cover's edge
+// load — and one edge attaining it (lowest ID on ties).
+func (m *Metrics) MaxEdgeLoad() (graph.EdgeID, int64) {
+	var best graph.EdgeID
+	var n int64
+	for i, ec := range m.edges {
+		if ec.Messages > n {
+			best, n = graph.EdgeID(i), ec.Messages
+		}
+	}
+	return best, n
+}
+
+// Tee fans callbacks out to several observers in order; use it to run
+// the metrics and trace observers on the same network.
+type Tee struct{ obs []sim.Observer }
+
+var _ sim.Observer = (*Tee)(nil)
+
+// NewTee composes observers; nil entries are dropped.
+func NewTee(obs ...sim.Observer) *Tee {
+	t := &Tee{}
+	for _, o := range obs {
+		if o != nil {
+			t.obs = append(t.obs, o)
+		}
+	}
+	return t
+}
+
+//costsense:hotpath
+func (t *Tee) OnSend(e sim.SendEvent, m sim.Message) {
+	for _, o := range t.obs {
+		o.OnSend(e, m)
+	}
+}
+
+//costsense:hotpath
+func (t *Tee) OnDeliver(e sim.DeliverEvent, m sim.Message) {
+	for _, o := range t.obs {
+		o.OnDeliver(e, m)
+	}
+}
+
+func (t *Tee) OnRecord(n graph.NodeID, at int64, key string, v int64) {
+	for _, o := range t.obs {
+		o.OnRecord(n, at, key, v)
+	}
+}
+
+func (t *Tee) OnQuiesce(s *sim.Stats) {
+	for _, o := range t.obs {
+		o.OnQuiesce(s)
+	}
+}

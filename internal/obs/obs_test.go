@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// ackFlooder floods a token from node 0 and acks every receipt,
+// exercising two message classes; same workload as the simulator's
+// golden Stats tests.
+type ackFlooder struct{ got bool }
+
+func (f *ackFlooder) Init(ctx sim.Context) {
+	if ctx.ID() == 0 {
+		f.got = true
+		ctx.Record("start", 1)
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, "tok")
+		}
+	}
+}
+
+func (f *ackFlooder) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	if m == "tok" {
+		ctx.SendClass(from, "ack", sim.ClassAck)
+	}
+	if f.got || m != "tok" {
+		return
+	}
+	f.got = true
+	for _, h := range ctx.Neighbors() {
+		if h.To != from {
+			ctx.Send(h.To, m)
+		}
+	}
+}
+
+type obsCase struct {
+	name      string
+	delay     sim.DelayModel
+	congested bool
+	seed      int64
+}
+
+func obsCases() []obsCase {
+	return []obsCase{
+		{"max/plain", sim.DelayMax{}, false, 1},
+		{"max/congested", sim.DelayMax{}, true, 1},
+		{"unit/plain", sim.DelayUnit{}, false, 1},
+		{"unit/congested", sim.DelayUnit{}, true, 1},
+		{"uniform/plain", sim.DelayUniform{}, false, 42},
+		{"uniform/congested", sim.DelayUniform{}, true, 42},
+	}
+}
+
+func runCase(t *testing.T, c obsCase, extra ...sim.Option) (*graph.Graph, *sim.Stats) {
+	t.Helper()
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	procs := make([]sim.Process, g.N())
+	for v := range procs {
+		procs[v] = &ackFlooder{}
+	}
+	opts := []sim.Option{sim.WithDelay(c.delay), sim.WithSeed(c.seed)}
+	if c.congested {
+		opts = append(opts, sim.WithCongestion())
+	}
+	opts = append(opts, extra...)
+	st, err := sim.Run(g, procs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, st
+}
+
+func flatten(s *sim.Stats) [8]int64 {
+	return [8]int64{
+		s.Messages, s.Comm, s.FinishTime, s.Events,
+		s.MessagesOf(sim.ClassProto), s.CommOf(sim.ClassProto),
+		s.MessagesOf(sim.ClassAck), s.CommOf(sim.ClassAck),
+	}
+}
+
+// TestObservedRunStatsIdentical: for every delay model, plain and
+// congested, a run instrumented with metrics+trace observers produces
+// the exact Stats of the untraced run of the same seed.
+func TestObservedRunStatsIdentical(t *testing.T) {
+	for _, c := range obsCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			_, plain := runCase(t, c)
+			g2 := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+			m := NewMetrics(g2)
+			tr := NewTrace(g2)
+			_, observed := runCase(t, c, sim.WithObserver(NewTee(m, tr)))
+			if flatten(plain) != flatten(observed) {
+				t.Errorf("observed run diverged:\n got  %v\n want %v", flatten(observed), flatten(plain))
+			}
+		})
+	}
+}
+
+// TestExportsByteIdentical: two observed runs of the same seed export
+// byte-identical metrics JSON, edge CSV, and Chrome trace JSON.
+func TestExportsByteIdentical(t *testing.T) {
+	for _, c := range obsCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var metricsOut, csvOut, traceOut [2]bytes.Buffer
+			for i := 0; i < 2; i++ {
+				g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+				m := NewMetrics(g)
+				tr := NewTrace(g)
+				runCase(t, c, sim.WithObserver(NewTee(m, tr)))
+				if err := m.WriteJSON(&metricsOut[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.WriteEdgeCSV(&csvOut[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Export(&traceOut[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(metricsOut[0].Bytes(), metricsOut[1].Bytes()) {
+				t.Error("metrics JSON differs between two runs of the same seed")
+			}
+			if !bytes.Equal(csvOut[0].Bytes(), csvOut[1].Bytes()) {
+				t.Error("edge CSV differs between two runs of the same seed")
+			}
+			if !bytes.Equal(traceOut[0].Bytes(), traceOut[1].Bytes()) {
+				t.Error("trace JSON differs between two runs of the same seed")
+			}
+		})
+	}
+}
+
+// TestMetricsAgreeWithStats: per-edge and per-class aggregates must
+// sum to the run's own Stats, in-flight counts must return to zero,
+// and every message must be delivered.
+func TestMetricsAgreeWithStats(t *testing.T) {
+	for _, c := range obsCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+			m := NewMetrics(g)
+			_, st := runCase(t, c, sim.WithObserver(m))
+			snap := m.Snapshot()
+			var msgs, comm, wait int64
+			for _, e := range snap.Edges {
+				msgs += e.Messages
+				comm += e.Comm
+				wait += e.Wait
+				if e.Messages > 0 && e.MaxInFlight < 1 {
+					t.Errorf("edge %d carried %d messages but MaxInFlight = %d", e.Edge, e.Messages, e.MaxInFlight)
+				}
+			}
+			if msgs != st.Messages || comm != st.Comm {
+				t.Errorf("edge totals (%d msgs, %d comm) != Stats (%d, %d)", msgs, comm, st.Messages, st.Comm)
+			}
+			if !c.congested && wait != 0 && c.delay != (sim.DelayUniform{}) {
+				// Under DelayMax/DelayUnit without congestion every delay
+				// is identical per edge, so FIFO never reorders: no wait.
+				t.Errorf("plain %s run accumulated FIFO wait %d, want 0", c.name, wait)
+			}
+			for _, in := range m.inflight {
+				if in != 0 {
+					t.Fatal("in-flight count nonzero after quiescence")
+				}
+			}
+			var classMsgs, delivered int64
+			for _, cl := range snap.Classes {
+				classMsgs += cl.Messages
+				delivered += cl.Delivered
+				if cl.Comm != st.CommOf(sim.Class(cl.Class)) {
+					t.Errorf("class %s comm %d != Stats %d", cl.Class, cl.Comm, st.CommOf(sim.Class(cl.Class)))
+				}
+				if k := len(cl.CommSeries); k > 0 && cl.CommSeries[k-1].V != cl.Comm {
+					t.Errorf("class %s comm series ends at %d, want %d", cl.Class, cl.CommSeries[k-1].V, cl.Comm)
+				}
+				if k := len(cl.DelivSeries); k > 0 && cl.DelivSeries[k-1].V != cl.Delivered {
+					t.Errorf("class %s delivery series ends at %d, want %d", cl.Class, cl.DelivSeries[k-1].V, cl.Delivered)
+				}
+			}
+			if classMsgs != st.Messages || delivered != st.Events {
+				t.Errorf("class totals (%d msgs, %d delivered) != Stats (%d, %d)", classMsgs, delivered, st.Messages, st.Events)
+			}
+			if !snap.Quiesced || snap.FinishTime != st.FinishTime {
+				t.Errorf("snapshot finish (%v, %d) != Stats (%d)", snap.Quiesced, snap.FinishTime, st.FinishTime)
+			}
+		})
+	}
+}
+
+// TestTraceExportIsValidJSON: the Chrome trace parses as JSON, carries
+// one slice per message and one lane metadata pair per node.
+func TestTraceExportIsValidJSON(t *testing.T) {
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	tr := NewTrace(g)
+	_, st := runCase(t, obsCases()[0], sim.WithObserver(tr))
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	var slices, meta, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			slices++
+			if ev.Dur <= 0 {
+				t.Errorf("slice %q has non-positive duration %v", ev.Name, ev.Dur)
+			}
+			if ev.Tid < 0 || ev.Tid >= g.N() {
+				t.Errorf("slice %q on lane %d, want 0..%d", ev.Name, ev.Tid, g.N()-1)
+			}
+		case "M":
+			meta++
+		case "i":
+			instants++
+		}
+	}
+	if int64(slices) != st.Messages {
+		t.Errorf("trace has %d slices, want one per message (%d)", slices, st.Messages)
+	}
+	if tr.Spans() != slices {
+		t.Errorf("Spans() = %d, export wrote %d", tr.Spans(), slices)
+	}
+	if meta != 2*g.N()+1 {
+		t.Errorf("trace has %d metadata events, want %d", meta, 2*g.N()+1)
+	}
+	if instants != 1 { // the single ctx.Record("start", 1)
+		t.Errorf("trace has %d instant events, want 1", instants)
+	}
+}
+
+// TestMaxEdgeLoad: the congestion hot-spot accessor returns an edge
+// whose counter matches, and no edge exceeds it.
+func TestMaxEdgeLoad(t *testing.T) {
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	m := NewMetrics(g)
+	runCase(t, obsCases()[0], sim.WithObserver(m))
+	id, load := m.MaxEdgeLoad()
+	if load <= 0 {
+		t.Fatal("no edge carried traffic")
+	}
+	snap := m.Snapshot()
+	if snap.Edges[id].Messages != load {
+		t.Errorf("MaxEdgeLoad edge %d has %d messages, reported %d", id, snap.Edges[id].Messages, load)
+	}
+	for _, e := range snap.Edges {
+		if e.Messages > load {
+			t.Errorf("edge %d load %d exceeds reported max %d", e.Edge, e.Messages, load)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"costsense/internal/harness"
+)
+
+func TestProgressReportsCompletion(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	p := NewProgress(&buf, "sweep", time.Hour) // throttle everything but the final line
+	var lastDone, lastTotal int
+	p.OnDone = func(done, total int) {
+		mu.Lock()
+		lastDone, lastTotal = done, total
+		mu.Unlock()
+	}
+	_, err := harness.RunIndexedObserved(16, func(i int) (int, error) { return i, nil }, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sweep: 16 trials in") {
+		t.Errorf("missing final summary, got %q", out)
+	}
+	if n := strings.Count(out, "\n"); n != 1 {
+		t.Errorf("throttling failed: %d lines, want only the final summary\n%s", n, out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if lastDone != 16 || lastTotal != 16 {
+		t.Errorf("OnDone last saw %d/%d, want 16/16", lastDone, lastTotal)
+	}
+}
+
+func TestProgressIntermediateLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "x", time.Nanosecond) // report every trial
+	_, err := harness.RunIndexedObserved(8, func(i int) (int, error) { return i, nil }, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ETA") && !strings.Contains(out, "trials in") {
+		t.Errorf("no progress lines at all: %q", out)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "costsense/internal/graph"
+
+// SendEvent describes one transmission at the moment send schedules
+// it. All fields are plain scalars so the struct is passed by value
+// with no per-event allocation.
+type SendEvent struct {
+	Time   int64 // simulated time of the send
+	Arrive int64 // scheduled delivery time, after the FIFO / congestion shift
+	Delay  int64 // transit delay the delay model drew for this message
+	Seq    int64 // global send sequence number (1-based); unique and dense per run
+	W      int64 // edge weight = the weighted communication cost of this message
+	From   graph.NodeID
+	To     graph.NodeID
+	Edge   graph.EdgeID
+	Class  Class
+}
+
+// Wait returns the time the message spends queued behind the edge's
+// earlier traffic before its own transit begins: zero on an idle edge,
+// positive under FIFO ordering or link congestion.
+func (e SendEvent) Wait() int64 { return e.Arrive - e.Time - e.Delay }
+
+// DeliverEvent describes one delivery as the event loop hands it to
+// the destination's Handle. Seq matches the SendEvent of the same
+// message, so observers can correlate the two without retaining
+// payloads.
+type DeliverEvent struct {
+	Time int64 // simulated delivery time
+	Seq  int64 // sequence number assigned at send
+	W    int64 // edge weight
+	From graph.NodeID
+	To   graph.NodeID
+	Edge graph.EdgeID
+}
+
+// Observer receives the simulator's probe callbacks. Install one with
+// WithObserver; with none installed the hot path stays allocation-free
+// and branch-only (guarded by costsense-vet hotpathalloc and
+// BenchmarkEngineFlood's allocs/op in BENCH_sim.json).
+//
+// Contract:
+//
+//   - Callbacks run synchronously inside the event loop, in the
+//     deterministic event order; an observer must not call back into
+//     the Network (no sends, no Run).
+//   - OnSend/OnDeliver must not retain m past the call: payloads live
+//     in the Network's recycled message arena. Copy what you need.
+//     costsense-vet's arenaref analyzer enforces this for methods
+//     named OnSend/OnDeliver, exactly as it does for Handle.
+//   - An observer that wants to stay off the allocation profile must
+//     record into preallocated or amortized-growth buffers, as the
+//     bundled internal/obs observers do.
+type Observer interface {
+	// OnSend fires after every transmission is accounted and
+	// scheduled, before anything else happens at this time step.
+	OnSend(e SendEvent, m Message)
+	// OnDeliver fires when the event loop dequeues a delivery, just
+	// before the destination's Handle runs.
+	OnDeliver(e DeliverEvent, m Message)
+	// OnRecord fires for every Context.Record call.
+	OnRecord(node graph.NodeID, time int64, key string, value int64)
+	// OnQuiesce fires once, after the event queue drains, with the
+	// final Stats (FinishTime and ByClass already materialized).
+	OnQuiesce(s *Stats)
+}
+
+// WithObserver installs an observer on the network. At most one
+// observer is dispatched per network; compose several with a tee (see
+// internal/obs).
+func WithObserver(o Observer) Option {
+	return func(n *Network) { n.obs = o }
+}

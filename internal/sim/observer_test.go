@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+// countingObserver tallies every callback; used to check the probe
+// contract against the run's own Stats.
+type countingObserver struct {
+	sends     int64
+	delivers  int64
+	records   int64
+	quiesces  int64
+	comm      int64
+	lastSeq   int64
+	seqDense  bool
+	waitNeg   bool
+	deliverOK bool
+	finish    int64
+}
+
+func (o *countingObserver) OnSend(e SendEvent, _ Message) {
+	o.sends++
+	o.comm += e.W
+	if e.Seq != o.lastSeq+1 {
+		o.seqDense = false
+	}
+	o.lastSeq = e.Seq
+	if e.Wait() < 0 {
+		o.waitNeg = true
+	}
+}
+
+func (o *countingObserver) OnDeliver(e DeliverEvent, _ Message) {
+	o.delivers++
+	if e.Seq <= 0 || e.Seq > o.lastSeq {
+		o.deliverOK = false
+	}
+}
+
+func (o *countingObserver) OnRecord(_ graph.NodeID, _ int64, _ string, _ int64) { o.records++ }
+
+func (o *countingObserver) OnQuiesce(s *Stats) {
+	o.quiesces++
+	o.finish = s.FinishTime
+}
+
+// obsFlooder floods one token and Records a key per node, exercising all
+// four callbacks.
+type obsFlooder struct{ got bool }
+
+func (r *obsFlooder) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		r.got = true
+		ctx.Record("start", 1)
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, "tok")
+		}
+	}
+}
+
+func (r *obsFlooder) Handle(ctx Context, from graph.NodeID, m Message) {
+	if r.got {
+		return
+	}
+	r.got = true
+	ctx.Record("seen", int64(ctx.ID()))
+	for _, h := range ctx.Neighbors() {
+		if h.To != from {
+			ctx.Send(h.To, m)
+		}
+	}
+}
+
+func TestObserverCallbackCounts(t *testing.T) {
+	g := graph.RandomConnected(30, 80, graph.UniformWeights(16, 5), 5)
+	procs := make([]Process, g.N())
+	for v := range procs {
+		procs[v] = &obsFlooder{}
+	}
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	st, err := Run(g, procs, WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.sends != st.Messages {
+		t.Errorf("OnSend fired %d times, Stats.Messages = %d", o.sends, st.Messages)
+	}
+	if o.delivers != st.Events {
+		t.Errorf("OnDeliver fired %d times, Stats.Events = %d", o.delivers, st.Events)
+	}
+	if o.comm != st.Comm {
+		t.Errorf("observer saw comm %d, Stats.Comm = %d", o.comm, st.Comm)
+	}
+	if o.records != int64(g.N()) {
+		t.Errorf("OnRecord fired %d times, want %d", o.records, g.N())
+	}
+	if o.quiesces != 1 {
+		t.Errorf("OnQuiesce fired %d times, want 1", o.quiesces)
+	}
+	if o.finish != st.FinishTime {
+		t.Errorf("OnQuiesce finish %d != Stats.FinishTime %d", o.finish, st.FinishTime)
+	}
+	if !o.seqDense {
+		t.Error("send sequence numbers are not dense 1..S")
+	}
+	if !o.deliverOK {
+		t.Error("a delivery carried a sequence number never sent")
+	}
+	if o.waitNeg {
+		t.Error("a SendEvent had negative Wait()")
+	}
+}
+
+// TestObserverStatsUnchanged: installing an observer must not perturb
+// the run — same Stats as the unobserved run of the same seed.
+func TestObserverStatsUnchanged(t *testing.T) {
+	for _, c := range detCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			plain := flatten(runDetCase(t, c))
+			g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+			procs := make([]Process, g.N())
+			for v := range procs {
+				procs[v] = &ackFlooder{}
+			}
+			opts := []Option{WithDelay(c.delay), WithSeed(c.seed), WithObserver(&countingObserver{})}
+			if c.congested {
+				opts = append(opts, WithCongestion())
+			}
+			st, err := Run(g, procs, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := flatten(st); got != plain {
+				t.Errorf("observed run diverged from unobserved:\n got  %+v\n want %+v", got, plain)
+			}
+		})
+	}
+}
+
+// silent never sends: the empty run must not materialize ByClass.
+type silent struct{}
+
+func (silent) Init(Context)                          {}
+func (silent) Handle(Context, graph.NodeID, Message) {}
+
+func TestEmptyRunByClassNotMaterialized(t *testing.T) {
+	g := graph.Path(4, graph.UnitWeights())
+	st, err := Run(g, []Process{silent{}, silent{}, silent{}, silent{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ByClass != nil {
+		t.Errorf("empty run materialized ByClass = %v, want nil", st.ByClass)
+	}
+	if st.CommOf(ClassProto) != 0 || st.MessagesOf(ClassAck) != 0 {
+		t.Error("accessors over a nil ByClass must read zero")
+	}
+}
+
+func TestUsedEdgesGraphMismatchPanics(t *testing.T) {
+	g := graph.Path(6, graph.UnitWeights())
+	procs := make([]Process, g.N())
+	for v := range procs {
+		procs[v] = &obsFlooder{}
+	}
+	st, err := Run(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := graph.Ring(12, graph.UnitWeights()) // 12 edges vs the path's 5
+	for _, c := range []struct {
+		name string
+		call func()
+	}{
+		{"UsedWeight", func() { st.UsedWeight(other) }},
+		{"UsedSpans", func() { st.UsedSpans(other) }},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s over a mismatched graph did not panic", c.name)
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "pass the same graph") {
+					t.Fatalf("panic message %v does not explain the mismatch", r)
+				}
+			}()
+			c.call()
+		})
+	}
+	// The matching graph still works.
+	if w := st.UsedWeight(g); w != 5 {
+		t.Errorf("UsedWeight over the run's own graph = %d, want 5", w)
+	}
+	if !st.UsedSpans(g) {
+		t.Error("flood must span the path")
+	}
+}
+
+func TestTracesSortedKeys(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights())
+	procs := make([]Process, g.N())
+	for v := range procs {
+		procs[v] = &obsFlooder{}
+	}
+	n, err := NewNetwork(g, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	keys := n.Traces()
+	want := []string{"seen", "start"}
+	if len(keys) != len(want) {
+		t.Fatalf("Traces() = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Traces() = %v, want %v (sorted)", keys, want)
+		}
+	}
+	for _, k := range keys {
+		if len(n.Trace(k)) == 0 {
+			t.Errorf("Traces() key %q has no points", k)
+		}
+	}
+}

@@ -27,6 +27,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"costsense/internal/graph"
 	"costsense/internal/pq"
@@ -131,10 +132,25 @@ type Stats struct {
 	UsedEdges []bool
 }
 
+// checkGraph guards the UsedEdges accessors against being interpreted
+// over a graph other than the one that produced the Stats: edge IDs
+// index a specific graph's edge list, so mixing graphs silently
+// returns garbage (or panics out of range only when the run's graph
+// was larger).
+func (s *Stats) checkGraph(g *graph.Graph, method string) {
+	if len(s.UsedEdges) != g.M() {
+		panic(fmt.Sprintf(
+			"sim: Stats.%s: stats were recorded on a graph with %d edges but queried against one with %d; pass the same graph the run used",
+			method, len(s.UsedEdges), g.M()))
+	}
+}
+
 // UsedWeight returns w(G'): the total weight of edges that carried
 // traffic. Theorem 2.1: for a global function computation, G' must
-// contain a spanning tree, so UsedWeight() >= 𝓥.
+// contain a spanning tree, so UsedWeight() >= 𝓥. g must be the graph
+// the run executed on; any other graph panics.
 func (s *Stats) UsedWeight(g *graph.Graph) int64 {
+	s.checkGraph(g, "UsedWeight")
 	var w int64
 	for id, used := range s.UsedEdges {
 		if used {
@@ -144,8 +160,10 @@ func (s *Stats) UsedWeight(g *graph.Graph) int64 {
 	return w
 }
 
-// UsedSpans reports whether the used edges connect all of V.
+// UsedSpans reports whether the used edges connect all of V. g must be
+// the graph the run executed on; any other graph panics.
 func (s *Stats) UsedSpans(g *graph.Graph) bool {
+	s.checkGraph(g, "UsedSpans")
 	dsu := graph.NewDSU(g.N())
 	comps := g.N()
 	for id, used := range s.UsedEdges {
@@ -268,6 +286,7 @@ type Network struct {
 	congested  bool
 	ran        bool
 	ctxs       []nodeCtx
+	obs        Observer // nil unless WithObserver installed one
 }
 
 // NewNetwork creates a network running procs[v] at vertex v.
@@ -420,6 +439,9 @@ func (c *nodeCtx) SendClass(to graph.NodeID, m Message, cl Class) {
 }
 func (c *nodeCtx) Record(key string, value int64) {
 	c.net.traces[key] = append(c.net.traces[key], TracePoint{Node: c.id, Time: c.net.now, Value: value})
+	if c.net.obs != nil {
+		c.net.obs.OnRecord(c.id, c.net.now, key, value)
+	}
 }
 
 // half resolves the directed half-edge from -> to, or nil when the
@@ -497,6 +519,14 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 		n.msgs = append(n.msgs, m)
 	}
 	n.queue.Push(event{at: at, seq: n.seq, to: int32(to), from: int32(from), msgIdx: slot})
+	if n.obs != nil {
+		// SendEvent is all scalars and passed by value: the probe adds
+		// one branch and no allocation to the unobserved path.
+		n.obs.OnSend(SendEvent{
+			Time: n.now, Arrive: at, Delay: d, Seq: n.seq, W: w,
+			From: from, To: to, Edge: h.eid, Class: cl,
+		}, m)
+	}
 }
 
 // Run initializes every process at time 0 and drives the event queue to
@@ -524,24 +554,52 @@ func (n *Network) Run() (*Stats, error) {
 		m := n.msgs[ev.msgIdx]
 		n.msgs[ev.msgIdx] = nil
 		n.msgFree = append(n.msgFree, ev.msgIdx)
+		if n.obs != nil {
+			// Re-resolve the half-edge: send always picks the leftmost
+			// (lowest-ID) parallel edge, so this lookup reproduces the
+			// edge the message actually used, deterministically.
+			h := n.half(graph.NodeID(ev.from), graph.NodeID(ev.to))
+			n.obs.OnDeliver(DeliverEvent{
+				Time: ev.at, Seq: ev.seq, W: h.w,
+				From: graph.NodeID(ev.from), To: graph.NodeID(ev.to), Edge: h.eid,
+			}, m)
+		}
 		n.procs[ev.to].Handle(&n.ctxs[ev.to], graph.NodeID(ev.from), m)
 	}
 	n.stats.FinishTime = n.now
 	// Materialize the public per-class view from the dense counters.
 	// Only classes that carried traffic appear, matching the map the
-	// accounting used to maintain inline.
-	//costsense:alloc-ok one allocation per run, after the event loop has drained
-	n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
-	for i, cs := range n.classStats {
-		if cs.Messages > 0 {
-			n.stats.ByClass[n.classes[i]] = cs
+	// accounting used to maintain inline; a run that sent nothing
+	// keeps ByClass nil instead of allocating an empty map (lookups
+	// and accessors read nil maps fine).
+	if n.stats.Messages > 0 {
+		//costsense:alloc-ok one allocation per run, after the event loop has drained
+		n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
+		for i, cs := range n.classStats {
+			if cs.Messages > 0 {
+				n.stats.ByClass[n.classes[i]] = cs
+			}
 		}
+	}
+	if n.obs != nil {
+		n.obs.OnQuiesce(&n.stats)
 	}
 	return &n.stats, nil
 }
 
 // Trace returns the recorded points for a key, in delivery order.
 func (n *Network) Trace(key string) []TracePoint { return n.traces[key] }
+
+// Traces returns every recorded trace key in sorted order, so exports
+// that walk all keys never depend on map iteration order.
+func (n *Network) Traces() []string {
+	keys := make([]string, 0, len(n.traces))
+	for k := range n.traces { //costsense:nondet-ok keys are sorted below before anything observes them
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Run is a convenience wrapper: build a network and run it.
 func Run(g *graph.Graph, procs []Process, opts ...Option) (*Stats, error) {

@@ -2,7 +2,8 @@
 # bench.sh — measure the simulator engine and refresh BENCH_sim.json.
 #
 # Runs the pure-engine throughput benchmark (BenchmarkEngineFlood:
-# flooding on a 5000-node / 40000-edge random graph) several times and
+# flooding on a 5000-node / 40000-edge random graph) and its
+# observer-attached twin (BenchmarkEngineObserved) several times and
 # records the averaged numbers next to the frozen pre-optimization
 # baseline. Run from the repository root:
 #
@@ -26,7 +27,7 @@ if [ "${BENCH_CHECK:-0}" = "1" ]; then
 	trap 'rm -f "$OUT"' EXIT
 fi
 
-go test -run '^$' -bench '^BenchmarkEngineFlood$' -benchmem \
+go test -run '^$' -bench '^BenchmarkEngine(Flood|Observed)$' -benchmem \
 	-benchtime "${BENCH_TIME:-5x}" -count "$COUNT" . |
 	tee /dev/stderr |
 	go run ./scripts/benchjson >"$OUT"

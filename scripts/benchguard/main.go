@@ -31,7 +31,8 @@ type run struct {
 }
 
 type doc struct {
-	Current run `json:"current"`
+	Current  run  `json:"current"`
+	Observed *run `json:"observed"`
 }
 
 func main() {
@@ -78,6 +79,15 @@ func guard(args []string) error {
 			"run ./scripts/bench.sh locally and either fix the allocation or update BENCH_sim.json with justification",
 			(allocsRatio-1)*100, maxRegress*100, base.AllocsPerOp, fresh.AllocsPerOp)
 	}
+
+	// Observer-disabled overhead: the gated numbers above ARE the
+	// disabled path (BenchmarkEngineFlood runs with no observer), so the
+	// allocation gate doubles as the "observability is free when off"
+	// contract. The attached-observer cost is reported for the record.
+	if freshObs, err := loadObserved(args[1]); err == nil && freshObs != nil && fresh.NsPerOp > 0 {
+		fmt.Printf("observer on: %.0f ns/op vs %.0f off (%+.1f%%, informational)\n",
+			freshObs.NsPerOp, fresh.NsPerOp, (freshObs.NsPerOp/fresh.NsPerOp-1)*100)
+	}
 	fmt.Println("benchguard: allocation contract holds")
 	return nil
 }
@@ -92,4 +102,16 @@ func load(path string) (run, error) {
 		return run{}, fmt.Errorf("%s: %w", path, err)
 	}
 	return d.Current, nil
+}
+
+func loadObserved(path string) (*run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return d.Observed, nil
 }

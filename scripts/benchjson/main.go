@@ -1,19 +1,22 @@
 // Command benchjson converts `go test -bench` output for the engine
-// benchmark into BENCH_sim.json. It reads the benchmark output on
-// stdin, averages the BenchmarkEngineFlood lines, and emits a JSON
-// document holding both the frozen pre-optimization baseline (the
+// benchmarks into BENCH_sim.json. It reads the benchmark output on
+// stdin, averages the BenchmarkEngineFlood (nil observer) and
+// BenchmarkEngineObserved (metrics observer attached) lines, and emits
+// a JSON document holding the frozen pre-optimization baseline (the
 // container/heap + map engine, measured on the same workload before
-// the rewrite) and the current numbers, plus the improvement ratios.
+// the rewrite), the current numbers, the improvement ratios, and the
+// measured observer overhead.
 //
 // Usage:
 //
-//	go test -run xxx -bench BenchmarkEngineFlood -benchmem -count 3 . | go run ./scripts/benchjson > BENCH_sim.json
+//	go test -run xxx -bench 'BenchmarkEngine(Flood|Observed)' -benchmem -count 3 . | go run ./scripts/benchjson > BENCH_sim.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,7 +44,7 @@ var baseline = run{
 }
 
 func main() {
-	cur, n, err := parse(os.Stdin)
+	flood, observed, n, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -51,12 +54,19 @@ func main() {
 		"workload":  "flooding on RandomConnected(5000, 40000, UniformWeights(64, 21), 21), DelayMax, 75001 events/op",
 		"samples":   n,
 		"baseline":  baseline,
-		"current":   cur,
+		"current":   flood,
 		"improvement": map[string]string{
-			"events_per_sec": fmt.Sprintf("%.2fx", cur.EventsPerSec/baseline.EventsPerSec),
-			"allocs_per_op":  fmt.Sprintf("%.1fx fewer", baseline.AllocsPerOp/cur.AllocsPerOp),
-			"bytes_per_op":   fmt.Sprintf("%.1fx fewer", baseline.BytesPerOp/cur.BytesPerOp),
+			"events_per_sec": fmt.Sprintf("%.2fx", flood.EventsPerSec/baseline.EventsPerSec),
+			"allocs_per_op":  fmt.Sprintf("%.1fx fewer", baseline.AllocsPerOp/flood.AllocsPerOp),
+			"bytes_per_op":   fmt.Sprintf("%.1fx fewer", baseline.BytesPerOp/flood.BytesPerOp),
 		},
+	}
+	if observed != nil {
+		doc["observed"] = observed
+		doc["observer_overhead"] = map[string]string{
+			"ns_per_op":     fmt.Sprintf("%+.1f%%", (observed.NsPerOp/flood.NsPerOp-1)*100),
+			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", observed.AllocsPerOp),
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -66,42 +76,60 @@ func main() {
 	}
 }
 
-// parse averages every BenchmarkEngineFlood line in r. A line looks
-// like:
+// parse averages every BenchmarkEngineFlood and BenchmarkEngineObserved
+// line in r. A line looks like:
 //
 //	BenchmarkEngineFlood  5  35424437 ns/op  75001 events/op  2117225 events/sec  11421680 B/op  5049 allocs/op
-func parse(r *os.File) (run, int, error) {
-	cur := run{Engine: "shared 4-ary heap + dense accounting (this tree)"}
-	n := 0
+func parse(r io.Reader) (flood *run, observed *run, n int, err error) {
+	flood = &run{Engine: "shared 4-ary heap + dense accounting (this tree)"}
+	var obs run
+	obsN := 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
-		if len(f) < 3 || !strings.HasPrefix(f[0], "BenchmarkEngineFlood") {
+		if len(f) < 3 || !strings.HasPrefix(f[0], "BenchmarkEngine") {
 			continue
 		}
 		vals := map[string]float64{}
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return cur, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
+				return nil, nil, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
 			}
 			vals[f[i+1]] = v
 		}
-		cur.NsPerOp += vals["ns/op"]
-		cur.EventsPerSec += vals["events/sec"]
-		cur.AllocsPerOp += vals["allocs/op"]
-		cur.BytesPerOp += vals["B/op"]
-		n++
+		switch {
+		case strings.HasPrefix(f[0], "BenchmarkEngineFlood"):
+			flood.NsPerOp += vals["ns/op"]
+			flood.EventsPerSec += vals["events/sec"]
+			flood.AllocsPerOp += vals["allocs/op"]
+			flood.BytesPerOp += vals["B/op"]
+			n++
+		case strings.HasPrefix(f[0], "BenchmarkEngineObserved"):
+			obs.NsPerOp += vals["ns/op"]
+			obs.EventsPerSec += vals["events/sec"]
+			obs.AllocsPerOp += vals["allocs/op"]
+			obs.BytesPerOp += vals["B/op"]
+			obsN++
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return cur, 0, err
+		return nil, nil, 0, err
 	}
 	if n == 0 {
-		return cur, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
+		return nil, nil, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
 	}
-	cur.NsPerOp /= float64(n)
-	cur.EventsPerSec /= float64(n)
-	cur.AllocsPerOp /= float64(n)
-	cur.BytesPerOp /= float64(n)
-	return cur, n, nil
+	flood.NsPerOp /= float64(n)
+	flood.EventsPerSec /= float64(n)
+	flood.AllocsPerOp /= float64(n)
+	flood.BytesPerOp /= float64(n)
+	if obsN > 0 {
+		obs.Engine = "same engine, full metrics observer attached (BenchmarkEngineObserved)"
+		obs.NsPerOp /= float64(obsN)
+		obs.EventsPerSec /= float64(obsN)
+		obs.AllocsPerOp /= float64(obsN)
+		obs.BytesPerOp /= float64(obsN)
+		observed = &obs
+	}
+	return flood, observed, n, nil
 }
