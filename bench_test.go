@@ -410,6 +410,37 @@ func BenchmarkEngineObserved(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkEngineFaulty is BenchmarkEngineFlood under a fault plan
+// (drops, duplication, one link outage, one fail-stop crash) — the
+// cost of the fault-injection branches in the hot path, measured
+// against the nil-fault baseline above. Informational: scripts/bench.sh
+// records it next to the gated nil-fault numbers, whose allocs/op
+// contract is unaffected because the fault state is all scalar.
+func BenchmarkEngineFaulty(b *testing.B) {
+	g := costsense.RandomConnected(5000, 40000, costsense.UniformWeights(64, 21), 21)
+	plan := costsense.FaultPlan{
+		Drop:    0.05,
+		Dup:     0.02,
+		Down:    []costsense.LinkDown{{Edge: 0, From: 10, Until: 200}},
+		Crashes: []costsense.Crash{{Node: costsense.NodeID(g.N() - 1), At: 500}},
+	}
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := costsense.RunFlood(g, 0, costsense.WithFaults(plan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Dropped == 0 {
+			b.Fatal("fault plan injected nothing")
+		}
+		events += res.Stats.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 func itoa(v int64) string {
 	if v == 0 {
 		return "0"

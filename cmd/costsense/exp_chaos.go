@@ -1,0 +1,202 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"costsense"
+)
+
+// chaosSpec is the parsed -faults flag: the fault regime of the chaos
+// experiment's headline run.
+type chaosSpec struct {
+	drop, dup     float64
+	crashes, down int
+	seed          int64
+}
+
+// chaosCfg holds the active spec; run() overwrites it when -faults is
+// given.
+var chaosCfg = chaosSpec{drop: 0.10, dup: 0.02, crashes: 1, down: 1, seed: 7}
+
+// parseFaultSpec parses "drop=0.1,dup=0.02,crash=1,down=2,seed=7";
+// omitted keys keep their defaults.
+func parseFaultSpec(s string) (chaosSpec, error) {
+	sp := chaosCfg
+	if s == "" {
+		return sp, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return sp, fmt.Errorf("faults: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "drop":
+			sp.drop, err = strconv.ParseFloat(v, 64)
+		case "dup":
+			sp.dup, err = strconv.ParseFloat(v, 64)
+		case "crash":
+			sp.crashes, err = strconv.Atoi(v)
+		case "down":
+			sp.down, err = strconv.Atoi(v)
+		case "seed":
+			sp.seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return sp, fmt.Errorf("faults: unknown key %q (have drop, dup, crash, down, seed)", k)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("faults: bad %s value %q: %v", k, v, err)
+		}
+	}
+	if sp.drop < 0 || sp.drop >= 1 || sp.dup < 0 || sp.dup >= 1 {
+		return sp, fmt.Errorf("faults: drop and dup must be in [0, 1)")
+	}
+	if sp.crashes < 0 || sp.down < 0 {
+		return sp, fmt.Errorf("faults: crash and down must be >= 0")
+	}
+	return sp, nil
+}
+
+// chaosOutcome classifies one faulty run: "ok" (exact fault-free
+// result), "degraded" (terminated with a different result), "reported"
+// (returned a protocol-incompleteness error), or "event-limit"
+// (stopped by the watchdog). A hang is the one outcome the harness
+// forbids — the event limit converts it into a report.
+func chaosOutcome(err error, sameResult bool) string {
+	if err != nil {
+		var el *costsense.ErrEventLimit
+		if errors.As(err, &el) {
+			return "event-limit"
+		}
+		return "reported"
+	}
+	if sameResult {
+		return "ok"
+	}
+	return "degraded"
+}
+
+// sameTree reports whether two sorted MST edge lists are identical.
+func sameTree(a, b *costsense.MSTResult) bool {
+	if len(a.Edges) != len(b.Edges) {
+		return false
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// expChaos is the chaos-run harness: protocols wrapped in the reliable
+// layer on deliberately faulty networks. The headline run follows the
+// -faults spec; the sweep crosses drop rates with mid-run fail-stop
+// crashes over GHS and measures γ_w's reliability overhead versus drop
+// rate. Every cell must terminate on its own or report (incomplete
+// protocol / event limit) — graceful degradation, never a hang.
+func expChaos(w *tabwriter.Writer) {
+	sp := chaosCfg
+	const watchdog = 2_000_000
+
+	g := costsense.RandomConnected(20, 45, costsense.UniformWeights(32, sp.seed), sp.seed)
+	golden := must(costsense.RunGHS(g))
+
+	fmt.Fprintln(w, "ghs run\tdrop\tdup\tcrashes\toutcome\tcomm\tretx\tgiveups\tc/c₀")
+	plan := costsense.RandomFaultPlan(g, sp.seed, sp.drop, sp.dup, sp.crashes, sp.down, 200)
+	opt, layer := costsense.InstallReliable(costsense.ReliableConfig{})
+	opts := append([]costsense.Option{opt, costsense.WithFaults(plan),
+		costsense.WithSeed(sp.seed), costsense.WithEventLimit(watchdog)}, instrOpts(g)...)
+	res, err := costsense.RunGHS(g, opts...)
+	comm := int64(0)
+	if err == nil {
+		comm = res.Stats.Comm
+	}
+	fmt.Fprintf(w, "spec\t%.2f\t%.2f\t%d\t%s\t%d\t%d\t%d\t%s\n",
+		sp.drop, sp.dup, sp.crashes, chaosOutcome(err, err == nil && sameTree(res, golden)),
+		comm, layer.Retransmits(), layer.GiveUps(), ratio(comm, golden.Stats.Comm))
+
+	// Sweep: drop rate x mid-run fail-stop crashes. Crash-free cells
+	// must reproduce the exact fault-free tree through the reliable
+	// layer; crashed cells may degrade but must terminate or report.
+	drops := []float64{0, 0.05, 0.10, 0.20}
+	crashCounts := []int{0, 1, 2}
+	rows := must(runTrials(len(drops)*len(crashCounts), func(i int) (string, error) {
+		d := drops[i/len(crashCounts)]
+		c := crashCounts[i%len(crashCounts)]
+		plan := costsense.FaultPlan{Drop: d, Dup: 0.02}
+		for k := 0; k < c; k++ {
+			// Non-root victims (never node 0), staggered mid-run.
+			plan.Crashes = append(plan.Crashes,
+				costsense.Crash{Node: costsense.NodeID(g.N() - 1 - k), At: int64(30 * (k + 1))})
+		}
+		opt, layer := costsense.InstallReliable(costsense.ReliableConfig{})
+		res, err := costsense.RunGHS(g, opt, costsense.WithFaults(plan),
+			costsense.WithSeed(sp.seed), costsense.WithEventLimit(watchdog))
+		outcome := chaosOutcome(err, err == nil && sameTree(res, golden))
+		if c == 0 && outcome != "ok" {
+			return "", fmt.Errorf("crash-free cell drop=%.2f did not reproduce the fault-free tree: %s", d, outcome)
+		}
+		comm := int64(0)
+		if err == nil {
+			comm = res.Stats.Comm
+		}
+		return fmt.Sprintf("sweep\t%.2f\t0.02\t%d\t%s\t%d\t%d\t%d\t%s\n",
+			d, c, outcome, comm, layer.Retransmits(), layer.GiveUps(),
+			ratio(comm, golden.Stats.Comm)), nil
+	}))
+	for _, r := range rows {
+		fmt.Fprint(w, r)
+	}
+
+	// γ_w reliability overhead: the synchronizer's SPT workload must
+	// stay exact under drops, at a measured extra c_π over the
+	// fault-free unwrapped run (acks + retransmissions).
+	g2 := costsense.RandomConnected(14, 30, costsense.UniformWeights(16, 3), 3)
+	refProcs := costsense.NewSPTSyncProcs(g2, 0)
+	ref := must(costsense.SyncRun(g2, refProcs, 1_000_000))
+	want := costsense.SPTSyncDists(refProcs)
+	base := func() *costsense.SynchOverhead {
+		procs := costsense.NewSPTSyncProcs(g2, 0)
+		return must(costsense.RunSynchGammaW(g2, procs, ref.Stats.Pulses+2, 2,
+			costsense.WithSeed(sp.seed)))
+	}()
+
+	fmt.Fprintln(w, "\nγ_w spt\tdrop\toutcome\tcomm\tretx\tc/c₀")
+	gammaRows := must(runTrials(len(drops), func(i int) (string, error) {
+		d := drops[i]
+		procs := costsense.NewSPTSyncProcs(g2, 0)
+		opt, layer := costsense.InstallReliable(costsense.ReliableConfig{})
+		ov, err := costsense.RunSynchGammaW(g2, procs, ref.Stats.Pulses+2, 2, opt,
+			costsense.WithFaults(costsense.FaultPlan{Drop: d, Dup: 0.02}),
+			costsense.WithSeed(sp.seed), costsense.WithEventLimit(20_000_000))
+		exact := err == nil
+		if exact {
+			dists := costsense.SPTSyncDists(procs)
+			for v := range want {
+				if dists[v] != want[v] {
+					exact = false
+					break
+				}
+			}
+		}
+		outcome := chaosOutcome(err, exact)
+		if outcome != "ok" {
+			return "", fmt.Errorf("γ_w at drop=%.2f must stay exact through the reliable layer, got %s", d, outcome)
+		}
+		return fmt.Sprintf("γ_w spt\t%.2f\t%s\t%d\t%d\t%s\n",
+			d, outcome, ov.Stats.Comm, layer.Retransmits(),
+			ratio(ov.Stats.Comm, base.Stats.Comm)), nil
+	}))
+	for _, r := range gammaRows {
+		fmt.Fprint(w, r)
+	}
+
+	fmt.Fprintln(w, "\nreliable layer: crash-free cells reproduce exact fault-free results; crashed cells")
+	fmt.Fprintln(w, "degrade to terminate-or-report (event-limit watchdog) — no cell may hang")
+}

@@ -16,6 +16,11 @@
 //	-metrics f.json   per-edge and per-class metrics of that run
 //	-progress         per-sweep progress lines (done/total, ETA) on stderr
 //	-http addr        serve expvar (/debug/vars) and pprof (/debug/pprof)
+//
+// Chaos harness (see DESIGN.md, "Fault injection & reliable delivery"):
+//
+//	-faults spec      fault regime for `exp chaos`, e.g.
+//	                  drop=0.1,dup=0.02,crash=1,down=2,seed=7
 package main
 
 import (
@@ -49,6 +54,7 @@ func experiments() []experiment {
 		{"cover", "Theorem 1.1 [AP91] — cover coarsening tradeoff", expCover},
 		{"ablation", "design-choice ablations: β tree choice, γ* cover parameter", expAblation},
 		{"routing", "routing application: table weight vs route quality per tree", expRouting},
+		{"chaos", "robustness — fault injection + reliable delivery: graceful degradation", expChaos},
 	}
 }
 
@@ -65,11 +71,20 @@ func run(args []string) error {
 	fs.StringVar(&instr.metricsPath, "metrics", "", "write per-edge/per-class metrics JSON of that run to `file`")
 	fs.BoolVar(&instr.progress, "progress", false, "report sweep progress (trials done/total, ETA) on stderr")
 	fs.StringVar(&instr.httpAddr, "http", "", "serve expvar and pprof on `addr` (e.g. localhost:6060)")
+	var faults string
+	fs.StringVar(&faults, "faults", "", "fault `spec` for the chaos experiment, e.g. drop=0.1,dup=0.02,crash=1,down=2,seed=7")
 	fs.SetOutput(os.Stderr)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	args = fs.Args()
+	if faults != "" {
+		sp, err := parseFaultSpec(faults)
+		if err != nil {
+			return err
+		}
+		chaosCfg = sp
+	}
 	instr.multi = false
 	if instr.httpAddr != "" {
 		go serveDebug(instr.httpAddr)
@@ -128,7 +143,7 @@ func runOne(e experiment) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] {list | exp <id> | exp all | verify}")
+	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] [-faults spec] {list | exp <id> | exp all | verify}")
 }
 
 // ratio formats a measured/bound quotient.

@@ -48,6 +48,7 @@ import (
 	"costsense/internal/harness"
 	"costsense/internal/mst"
 	"costsense/internal/obs"
+	"costsense/internal/reliable"
 	"costsense/internal/route"
 	"costsense/internal/sim"
 	"costsense/internal/slt"
@@ -157,6 +158,18 @@ type (
 	SyncContext = sim.SyncContext
 )
 
+// Class tags a message for per-class cost accounting (Stats.CommOf).
+type Class = sim.Class
+
+// The standard message classes.
+const (
+	ClassProto   = sim.ClassProto
+	ClassAck     = sim.ClassAck
+	ClassSync    = sim.ClassSync
+	ClassControl = sim.ClassControl
+	ClassRetx    = sim.ClassRetx
+)
+
 // Simulator constructors and options.
 var (
 	NewNetwork     = sim.NewNetwork
@@ -209,6 +222,61 @@ var (
 	NewTeeObserver = obs.NewTee
 	// NewProgressMeter builds a ProgressMeter writing to w.
 	NewProgressMeter = obs.NewProgress
+)
+
+// Fault injection and reliable delivery (internal/sim faults,
+// internal/reliable). A FaultPlan is applied with WithFaults and drawn
+// from the network's own seeded RNG, so faulty runs replay
+// byte-identically; the reliable layer restores exactly-once in-order
+// delivery on top of a faulty network for any unmodified Process.
+type (
+	// FaultPlan schedules message drops, duplication, link outages and
+	// fail-stop crashes for one run.
+	FaultPlan = sim.FaultPlan
+	// LinkDown is one transient link outage window.
+	LinkDown = sim.LinkDown
+	// Crash is one scheduled fail-stop node crash.
+	Crash = sim.Crash
+	// DropEvent describes one lost message to an Observer.
+	DropEvent = sim.DropEvent
+	// DropReason says why a message was lost.
+	DropReason = sim.DropReason
+	// ErrEventLimit reports a run stopped at its event budget.
+	ErrEventLimit = sim.ErrEventLimit
+	// TimerContext is the optional Context extension for self-scheduled
+	// timer events (free: no communication cost).
+	TimerContext = sim.TimerContext
+	// ReliableConfig tunes the reliable-delivery layer's
+	// retransmission timeouts and retry budget.
+	ReliableConfig = reliable.Config
+	// ReliableLayer reads the per-run reliability counters
+	// (retransmits, suppressed duplicates, give-ups).
+	ReliableLayer = reliable.Layer
+	// EdgeID identifies an edge (0..m-1).
+	EdgeID = graph.EdgeID
+)
+
+// Drop reasons.
+const (
+	DropLoss     = sim.DropLoss
+	DropLinkDown = sim.DropLinkDown
+	DropCrash    = sim.DropCrash
+)
+
+// Fault-injection entry points.
+var (
+	// WithFaults applies a FaultPlan to a Network.
+	WithFaults = sim.WithFaults
+	// WithProcessWrapper interposes on the process vector (the hook
+	// behind InstallReliable).
+	WithProcessWrapper = sim.WithProcessWrapper
+	// RandomFaultPlan draws a reproducible plan from its own seed.
+	RandomFaultPlan = sim.RandomFaultPlan
+	// InstallReliable returns the Option wrapping every process in the
+	// reliable-delivery layer, plus the layer's counter view.
+	InstallReliable = reliable.Install
+	// WrapReliable wraps an explicit process vector.
+	WrapReliable = reliable.Wrap
 )
 
 // Delay models.

@@ -14,10 +14,11 @@ import (
 // would observe a recycled value the moment payloads themselves move
 // into a typed arena (the planned follow-up to the PR 1 event arena).
 //
-// The analyzer applies to any method named Handle, OnSend or OnDeliver
-// whose last parameter is sim.Message — protocol handlers and observer
-// probes alike (sim.Observer callbacks see the in-flight payload under
-// the same no-retention contract). Within the body it tracks the
+// The analyzer applies to any method named Handle, OnSend, OnDeliver
+// or OnDrop whose last parameter is sim.Message — protocol handlers
+// and observer probes alike (sim.Observer callbacks, including the
+// fault-injection drop probe, see the in-flight payload under the same
+// no-retention contract). Within the body it tracks the
 // message parameter and simple local aliases of it (including type
 // assertions) and reports stores that escape the call. Forwarding the
 // message — passing it to ctx.Send or another function — transfers
@@ -42,7 +43,7 @@ func runArenaref(pass *Pass) {
 				continue
 			}
 			switch fd.Name.Name {
-			case "Handle", "OnSend", "OnDeliver":
+			case "Handle", "OnSend", "OnDeliver", "OnDrop":
 			default:
 				continue
 			}

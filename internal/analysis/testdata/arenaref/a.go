@@ -85,6 +85,10 @@ func (o *LeakyObserver) OnDeliver(e sim.DeliverEvent, m sim.Message) {
 	o.last = m // want "stores arena message m into o.last"
 }
 
+func (o *LeakyObserver) OnDrop(e sim.DropEvent, m sim.Message) {
+	o.last = m // want "stores arena message m into o.last"
+}
+
 // CleanObserver only reads scalar event fields and copies payload data
 // out by value: quiet. Discarding the payload with _ opts out entirely.
 type CleanObserver struct {
@@ -100,4 +104,10 @@ func (o *CleanObserver) OnSend(e sim.SendEvent, m sim.Message) {
 
 func (o *CleanObserver) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
 	o.sends--
+}
+
+func (o *CleanObserver) OnDrop(e sim.DropEvent, m sim.Message) {
+	if pl, ok := m.(*payload); ok {
+		o.sum -= pl.n // copying a field out of a dropped payload is fine
+	}
 }

@@ -41,6 +41,9 @@ type EdgeCounters struct {
 	Busy        int64 // Σ transit delay: time spent carrying messages
 	Wait        int64 // Σ FIFO/congestion queueing before transit began
 	MaxInFlight int32 // peak simultaneous in-flight messages
+	Drops       int64 // messages the fault adversary destroyed on this edge
+	Retx        int64 // reliable-layer retransmissions (class "retx")
+	Dups        int64 // fault-injected duplicate copies (not in Messages/Comm)
 }
 
 // classSeries is the dense per-class accumulator.
@@ -57,14 +60,30 @@ type classSeries struct {
 // cumulative time series into dense, preallocated buffers. One Metrics
 // instruments one run; build a fresh one per Network.
 type Metrics struct {
-	g        *graph.Graph
-	edges    []EdgeCounters // indexed by EdgeID
-	inflight []int32        // current in-flight per edge
-	classes  []classSeries
-	classIdx map[sim.Class]int
-	classOf  []uint16 // seq-1 -> class index; sends are dense, so this is too
-	finish   int64
-	quiesced bool
+	g             *graph.Graph
+	edges         []EdgeCounters // indexed by EdgeID
+	inflight      []int32        // current in-flight per edge
+	classes       []classSeries
+	classIdx      map[sim.Class]int
+	classOf       []uint16 // seq-1 -> class index; sends are dense, so this is too
+	dropsByReason [3]int64 // indexed by sim.DropReason - 1
+	crashes       []CrashMark
+	linkDowns     []LinkDownMark
+	finish        int64
+	quiesced      bool
+}
+
+// CrashMark is one observed fail-stop, for the exported fault timeline.
+type CrashMark struct {
+	Node int   `json:"node"`
+	At   int64 `json:"at"`
+}
+
+// LinkDownMark is one observed link outage window.
+type LinkDownMark struct {
+	Edge  int   `json:"edge"`
+	From  int64 `json:"from"`
+	Until int64 `json:"until"`
 }
 
 var _ sim.Observer = (*Metrics)(nil)
@@ -104,13 +123,23 @@ func (m *Metrics) addClass(c sim.Class) int {
 }
 
 // OnSend accounts the transmission on its edge and class. Amortized
-// slice growth only; no per-event allocation.
+// slice growth only; no per-event allocation. Duplicate copies count
+// in Dups only, mirroring the engine's Stats (the protocol didn't pay
+// for them); retransmissions are real paid sends and additionally
+// bump Retx.
 //
 //costsense:hotpath
 func (m *Metrics) OnSend(e sim.SendEvent, _ sim.Message) {
 	ec := &m.edges[e.Edge]
-	ec.Messages++
-	ec.Comm += e.W
+	if e.Dup {
+		ec.Dups++
+	} else {
+		ec.Messages++
+		ec.Comm += e.W
+		if e.Class == sim.ClassRetx {
+			ec.Retx++
+		}
+	}
 	ec.Busy += e.Delay
 	ec.Wait += e.Wait()
 	m.inflight[e.Edge]++
@@ -119,13 +148,17 @@ func (m *Metrics) OnSend(e sim.SendEvent, _ sim.Message) {
 	}
 	ci := m.classID(e.Class)
 	cs := &m.classes[ci]
-	cs.messages++
-	cs.comm += e.W
-	if k := len(cs.commPts); k > 0 && cs.commPts[k-1].T == e.Time {
-		cs.commPts[k-1].V = cs.comm // coalesce same-time samples
-	} else {
-		cs.commPts = append(cs.commPts, Point{T: e.Time, V: cs.comm})
+	if !e.Dup {
+		cs.messages++
+		cs.comm += e.W
+		if k := len(cs.commPts); k > 0 && cs.commPts[k-1].T == e.Time {
+			cs.commPts[k-1].V = cs.comm // coalesce same-time samples
+		} else {
+			cs.commPts = append(cs.commPts, Point{T: e.Time, V: cs.comm})
+		}
 	}
+	// Every OnSend — including duplicates and messages later dropped —
+	// appends here: probe sequences are dense over all transmissions.
 	m.classOf = append(m.classOf, uint16(ci))
 }
 
@@ -142,6 +175,26 @@ func (m *Metrics) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
 	} else {
 		cs.delivPts = append(cs.delivPts, Point{T: e.Time, V: cs.delivered})
 	}
+}
+
+// OnDrop retires a destroyed message from its edge and tallies the
+// loss per edge and per reason.
+//
+//costsense:hotpath
+func (m *Metrics) OnDrop(e sim.DropEvent, _ sim.Message) {
+	m.inflight[e.Edge]--
+	m.edges[e.Edge].Drops++
+	m.dropsByReason[e.Reason-1]++
+}
+
+// OnCrash records the fail-stop on the run's fault timeline.
+func (m *Metrics) OnCrash(node graph.NodeID, at int64) {
+	m.crashes = append(m.crashes, CrashMark{Node: int(node), At: at})
+}
+
+// OnLinkDown records the outage window on the run's fault timeline.
+func (m *Metrics) OnLinkDown(e graph.EdgeID, from, until int64) {
+	m.linkDowns = append(m.linkDowns, LinkDownMark{Edge: int(e), From: from, Until: until})
 }
 
 // OnRecord is ignored; Record traces stay on the Network.
@@ -164,6 +217,25 @@ type EdgeMetric struct {
 	Busy        int64 `json:"busy"`
 	Wait        int64 `json:"wait"`
 	MaxInFlight int32 `json:"max_in_flight"`
+	Drops       int64 `json:"drops"`
+	Retx        int64 `json:"retx"`
+	Dups        int64 `json:"dups"`
+}
+
+// FaultMetrics summarizes an observed run's injected faults; all-zero
+// (and omitted from JSON) on fault-free runs.
+type FaultMetrics struct {
+	Dropped     int64          `json:"dropped"`      // send-time losses (loss + linkdown)
+	DeadLetters int64          `json:"dead_letters"` // arrivals at crashed nodes
+	Retx        int64          `json:"retx"`
+	Dups        int64          `json:"dups"`
+	Crashes     []CrashMark    `json:"crashes,omitempty"`
+	LinkDowns   []LinkDownMark `json:"link_downs,omitempty"`
+}
+
+func (f FaultMetrics) zero() bool {
+	return f.Dropped == 0 && f.DeadLetters == 0 && f.Retx == 0 && f.Dups == 0 &&
+		len(f.Crashes) == 0 && len(f.LinkDowns) == 0
 }
 
 // ClassMetric is the exportable per-class aggregate plus its series.
@@ -184,6 +256,7 @@ type Snapshot struct {
 	EdgesTotal int           `json:"edges_total"`
 	FinishTime int64         `json:"finish_time"`
 	Quiesced   bool          `json:"quiesced"`
+	Faults     *FaultMetrics `json:"faults,omitempty"` // nil on fault-free runs
 	Edges      []EdgeMetric  `json:"edges"`
 	Classes    []ClassMetric `json:"classes"`
 }
@@ -199,13 +272,25 @@ func (m *Metrics) Snapshot() *Snapshot {
 		Edges:      make([]EdgeMetric, m.g.M()),
 		Classes:    make([]ClassMetric, 0, len(m.classes)),
 	}
+	fm := FaultMetrics{
+		Dropped:     m.dropsByReason[sim.DropLoss-1] + m.dropsByReason[sim.DropLinkDown-1],
+		DeadLetters: m.dropsByReason[sim.DropCrash-1],
+		Crashes:     m.crashes,
+		LinkDowns:   m.linkDowns,
+	}
 	for i, ec := range m.edges {
 		e := m.g.Edge(graph.EdgeID(i))
 		s.Edges[i] = EdgeMetric{
 			Edge: i, U: int(e.U), V: int(e.V), W: e.W,
 			Messages: ec.Messages, Comm: ec.Comm, Busy: ec.Busy,
 			Wait: ec.Wait, MaxInFlight: ec.MaxInFlight,
+			Drops: ec.Drops, Retx: ec.Retx, Dups: ec.Dups,
 		}
+		fm.Retx += ec.Retx
+		fm.Dups += ec.Dups
+	}
+	if !fm.zero() {
+		s.Faults = &fm
 	}
 	for _, cs := range m.classes {
 		s.Classes = append(s.Classes, ClassMetric{
@@ -228,7 +313,7 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 // WriteEdgeCSV writes one CSV row per edge, in edge-ID order.
 func (m *Metrics) WriteEdgeCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"edge", "u", "v", "w", "messages", "comm", "busy", "wait", "max_in_flight"}); err != nil {
+	if err := cw.Write([]string{"edge", "u", "v", "w", "messages", "comm", "busy", "wait", "max_in_flight", "drops", "retx", "dups"}); err != nil {
 		return err
 	}
 	for _, e := range m.Snapshot().Edges {
@@ -237,6 +322,8 @@ func (m *Metrics) WriteEdgeCSV(w io.Writer) error {
 			strconv.FormatInt(e.W, 10), strconv.FormatInt(e.Messages, 10),
 			strconv.FormatInt(e.Comm, 10), strconv.FormatInt(e.Busy, 10),
 			strconv.FormatInt(e.Wait, 10), strconv.Itoa(int(e.MaxInFlight)),
+			strconv.FormatInt(e.Drops, 10), strconv.FormatInt(e.Retx, 10),
+			strconv.FormatInt(e.Dups, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -288,6 +375,25 @@ func (t *Tee) OnSend(e sim.SendEvent, m sim.Message) {
 func (t *Tee) OnDeliver(e sim.DeliverEvent, m sim.Message) {
 	for _, o := range t.obs {
 		o.OnDeliver(e, m)
+	}
+}
+
+//costsense:hotpath
+func (t *Tee) OnDrop(e sim.DropEvent, m sim.Message) {
+	for _, o := range t.obs {
+		o.OnDrop(e, m)
+	}
+}
+
+func (t *Tee) OnCrash(n graph.NodeID, at int64) {
+	for _, o := range t.obs {
+		o.OnCrash(n, at)
+	}
+}
+
+func (t *Tee) OnLinkDown(e graph.EdgeID, from, until int64) {
+	for _, o := range t.obs {
+		o.OnLinkDown(e, from, until)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"costsense/internal/graph"
+	"costsense/internal/reliable"
 	"costsense/internal/sim"
 )
 
@@ -133,6 +134,75 @@ func TestExportsByteIdentical(t *testing.T) {
 			}
 			if !bytes.Equal(traceOut[0].Bytes(), traceOut[1].Bytes()) {
 				t.Error("trace JSON differs between two runs of the same seed")
+			}
+		})
+	}
+}
+
+// faultyPlan is a chaos plan over the standard 40/120 test graph:
+// drops, duplication, two link outages, and one mid-run fail-stop.
+func faultyPlan(g *graph.Graph) sim.FaultPlan {
+	return sim.FaultPlan{
+		Drop: 0.15,
+		Dup:  0.10,
+		Down: []sim.LinkDown{
+			{Edge: 3, From: 2, Until: 12},
+			{Edge: 7, From: 5, Until: 9},
+		},
+		Crashes: []sim.Crash{{Node: graph.NodeID(g.N() - 1), At: 25}},
+	}
+}
+
+// TestFaultyExportsByteIdentical: under a chaos plan with the reliable
+// layer installed, two observed runs of the same seed and plan export
+// byte-identical metrics JSON, edge CSV, and Chrome trace JSON, with a
+// populated fault section — across every delay model, plain and
+// congested.
+func TestFaultyExportsByteIdentical(t *testing.T) {
+	for _, c := range obsCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var metricsOut, csvOut, traceOut [2]bytes.Buffer
+			for i := 0; i < 2; i++ {
+				g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+				m := NewMetrics(g)
+				tr := NewTrace(g)
+				opt, _ := reliable.Install(reliable.Config{})
+				runCase(t, c, opt, sim.WithObserver(NewTee(m, tr)),
+					sim.WithFaults(faultyPlan(g)), sim.WithEventLimit(5_000_000))
+				snap := m.Snapshot()
+				if snap.Faults == nil {
+					t.Fatal("faulty run produced no fault section in the snapshot")
+				}
+				if snap.Faults.Dropped == 0 || snap.Faults.Retx == 0 || snap.Faults.Dups == 0 {
+					t.Fatalf("fault section is vacuous: %+v", snap.Faults)
+				}
+				if len(snap.Faults.Crashes) != 1 || len(snap.Faults.LinkDowns) != 2 {
+					t.Fatalf("fault section has %d crashes and %d outages, want 1 and 2",
+						len(snap.Faults.Crashes), len(snap.Faults.LinkDowns))
+				}
+				if err := m.WriteJSON(&metricsOut[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.WriteEdgeCSV(&csvOut[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Export(&traceOut[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(metricsOut[0].Bytes(), metricsOut[1].Bytes()) {
+				t.Error("faulty metrics JSON differs between two runs of the same seed+plan")
+			}
+			if !bytes.Equal(csvOut[0].Bytes(), csvOut[1].Bytes()) {
+				t.Error("faulty edge CSV differs between two runs of the same seed+plan")
+			}
+			if !bytes.Equal(traceOut[0].Bytes(), traceOut[1].Bytes()) {
+				t.Error("faulty trace JSON differs between two runs of the same seed+plan")
+			}
+			header, _, _ := bytes.Cut(csvOut[0].Bytes(), []byte("\n"))
+			if n := bytes.Count(header, []byte(",")) + 1; n != 12 {
+				t.Errorf("edge CSV header has %d columns, want 12: %s", n, header)
 			}
 		})
 	}

@@ -28,6 +28,15 @@ type mark struct {
 	key   string
 }
 
+// faultEvent is one injected fault (drop, crash, link outage),
+// exported as an instant event in the "fault" category.
+type faultEvent struct {
+	ts   int64
+	aux  int64 // drop: seq; link-down: window end; crash: unused
+	node int32
+	kind string
+}
+
 // Trace is a sim.Observer that records every message's lifetime and
 // every Record call, and exports them in the Chrome trace_event JSON
 // format: open the file in Perfetto (ui.perfetto.dev) or
@@ -40,6 +49,7 @@ type Trace struct {
 	g      *graph.Graph
 	spans  []span
 	marks  []mark
+	faults []faultEvent
 	finish int64
 }
 
@@ -65,6 +75,24 @@ func (t *Trace) OnSend(e sim.SendEvent, _ sim.Message) {
 //costsense:hotpath
 func (t *Trace) OnDeliver(sim.DeliverEvent, sim.Message) {}
 
+// OnDrop records an instant fault event on the sender's lane.
+//
+//costsense:hotpath
+func (t *Trace) OnDrop(e sim.DropEvent, _ sim.Message) {
+	t.faults = append(t.faults, faultEvent{ts: e.Time, node: int32(e.From), aux: e.Seq, kind: e.Reason.String()})
+}
+
+// OnCrash records an instant fault event on the crashed node's lane.
+func (t *Trace) OnCrash(n graph.NodeID, at int64) {
+	t.faults = append(t.faults, faultEvent{ts: at, node: int32(n), kind: "crash-node"})
+}
+
+// OnLinkDown records the outage as an instant event on the lane of the
+// edge's U endpoint (edges have no lane of their own).
+func (t *Trace) OnLinkDown(e graph.EdgeID, from, until int64) {
+	t.faults = append(t.faults, faultEvent{ts: from, node: int32(t.g.Edge(e).U), aux: until, kind: "link-down"})
+}
+
 // OnRecord records an instant event.
 func (t *Trace) OnRecord(n graph.NodeID, at int64, key string, v int64) {
 	t.marks = append(t.marks, mark{ts: at, node: int32(n), value: v, key: key})
@@ -75,7 +103,8 @@ func (t *Trace) OnQuiesce(s *sim.Stats) { t.finish = s.FinishTime }
 
 // Export writes the trace_event JSON. Events are emitted in a fixed
 // order (metadata by node, then spans in send order, then marks in
-// record order), so output is byte-deterministic for a fixed seed.
+// record order, then fault events in observation order), so output is
+// byte-deterministic for a fixed seed.
 func (t *Trace) Export(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"nodes\":%d,\"edges\":%d,\"finish_time\":%d},\"traceEvents\":[\n",
@@ -102,6 +131,10 @@ func (t *Trace) Export(w io.Writer) error {
 	for _, m := range t.marks {
 		emit(`{"name":%s,"cat":"record","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"value":%d}}`,
 			strconv.Quote(fmt.Sprintf("%s=%d", m.key, m.value)), m.ts, m.node, m.value)
+	}
+	for _, f := range t.faults {
+		emit(`{"name":%s,"cat":"fault","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"aux":%d}}`,
+			strconv.Quote(f.kind), f.ts, f.node, f.aux)
 	}
 	bw.WriteString("\n]}\n")
 	return bw.Flush()

@@ -1,0 +1,364 @@
+// Package reliable restores protocol correctness on faulty networks.
+//
+// The paper's protocols (and their analyses) assume reliable FIFO
+// links: every message sent over e arrives, exactly once, in order,
+// within w(e). WithFaults breaks all three guarantees — messages are
+// lost, duplicated and dead-lettered. This package wraps any
+// sim.Process with a per-link reliable-delivery shim: sequence-numbered
+// envelopes, cumulative per-message acknowledgments, timeout-driven
+// retransmission with capped exponential backoff, duplicate
+// suppression, and in-order (resequenced) delivery. A wrapped protocol
+// runs unmodified and observes exactly the reliable FIFO semantics it
+// was written for — at a measurable cost in extra weighted
+// communication and time, which is the point: the reliability overhead
+// on top of the paper's fault-free bounds becomes an experimental
+// quantity (see cmd/costsense exp chaos and EXPERIMENTS.md).
+//
+// Termination on fail-stop faults: a sender retransmits each message
+// at most MaxRetries times, then gives up on it (the peer is presumed
+// crashed). Every send therefore induces a bounded number of events,
+// so a run over a terminating protocol always terminates — crashes
+// degrade the result, never hang the run.
+package reliable
+
+import (
+	"fmt"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// Config tunes the retransmission machinery. The zero value picks the
+// defaults below; timeouts scale with the link weight w(e), the
+// model's only notion of link latency.
+type Config struct {
+	// RTOFactor: the first retransmission fires after RTOFactor*w(e)
+	// (covering the 2*w(e) round trip plus queueing). Default 4.
+	RTOFactor int64
+	// BackoffCap bounds the exponential backoff at BackoffCap*w(e).
+	// Default 64.
+	BackoffCap int64
+	// MaxRetries is the number of retransmissions per message before
+	// the sender gives up (peer presumed fail-stopped). Negative means
+	// retry forever — then only the event-limit watchdog bounds a run
+	// against a crashed peer. Default 10.
+	MaxRetries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.RTOFactor <= 0 {
+		c.RTOFactor = 4
+	}
+	if c.BackoffCap < c.RTOFactor {
+		c.BackoffCap = 64
+		if c.BackoffCap < c.RTOFactor {
+			c.BackoffCap = c.RTOFactor
+		}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 10
+	}
+	return c
+}
+
+// envData is the sequenced envelope carrying one protocol message over
+// one directed link. Sequence numbers are per (sender, receiver) pair,
+// starting at 1.
+type envData struct {
+	Seq     int64
+	Payload sim.Message
+}
+
+// envAck acknowledges receipt of envData{Seq} (sent even for
+// duplicates: the previous ack may have been lost).
+type envAck struct{ Seq int64 }
+
+// retxTimer is the self-addressed timeout message arming one pending
+// transmission's retransmission check.
+type retxTimer struct {
+	To  graph.NodeID
+	Seq int64
+}
+
+// pendingMsg is one unacknowledged transmission.
+type pendingMsg struct {
+	payload sim.Message
+	class   sim.Class
+	retries int
+	rto     int64
+}
+
+// outLink is the sender half of one directed link.
+type outLink struct {
+	w       int64 // weight of the edge sim resolves for this neighbor
+	next    int64 // last assigned sequence number
+	pending map[int64]*pendingMsg
+}
+
+// inLink is the receiver half: the resequencing buffer.
+type inLink struct {
+	expected int64 // next sequence to deliver in order
+	buf      map[int64]sim.Message
+}
+
+// Proc wraps one protocol automaton with the reliable-delivery shim.
+// Build via Wrap or Install; a Proc serves exactly one run.
+type Proc struct {
+	inner sim.Process
+	cfg   Config
+	rctx  rctx
+	out   map[graph.NodeID]*outLink
+	in    map[graph.NodeID]*inLink
+
+	retransmits int64
+	dupsDropped int64
+	giveUps     int64
+}
+
+// Inner returns the wrapped protocol automaton.
+func (p *Proc) Inner() sim.Process { return p.inner }
+
+// Retransmits returns how many retransmissions this node performed.
+func (p *Proc) Retransmits() int64 { return p.retransmits }
+
+// DupsSuppressed returns how many duplicate arrivals were discarded.
+func (p *Proc) DupsSuppressed() int64 { return p.dupsDropped }
+
+// GiveUps returns how many messages were abandoned after MaxRetries.
+func (p *Proc) GiveUps() int64 { return p.giveUps }
+
+// rctx is the Context the inner protocol sees: sends are intercepted
+// into the sequencing layer, everything else passes through. It also
+// forwards the optional TimerContext capability.
+type rctx struct {
+	p   *Proc
+	ctx sim.Context
+}
+
+var _ sim.Context = (*rctx)(nil)
+var _ sim.TimerContext = (*rctx)(nil)
+
+func (c *rctx) ID() graph.NodeID        { return c.ctx.ID() }
+func (c *rctx) Now() int64              { return c.ctx.Now() }
+func (c *rctx) Graph() *graph.Graph     { return c.ctx.Graph() }
+func (c *rctx) Neighbors() []graph.Half { return c.ctx.Neighbors() }
+func (c *rctx) Send(to graph.NodeID, m sim.Message) {
+	c.p.sendData(to, m, sim.ClassProto)
+}
+func (c *rctx) SendClass(to graph.NodeID, m sim.Message, cl sim.Class) {
+	c.p.sendData(to, m, cl)
+}
+func (c *rctx) Record(key string, value int64) { c.ctx.Record(key, value) }
+func (c *rctx) ScheduleTimer(delay int64, m sim.Message) {
+	if tc, ok := c.ctx.(sim.TimerContext); ok {
+		tc.ScheduleTimer(delay, m)
+	}
+}
+
+// Init initializes the shim and the wrapped protocol.
+func (p *Proc) Init(ctx sim.Context) {
+	p.rctx = rctx{p: p, ctx: ctx}
+	p.inner.Init(&p.rctx)
+}
+
+// Handle demultiplexes the link-layer traffic; only in-order, first
+// arrivals of data envelopes reach the inner protocol.
+func (p *Proc) Handle(ctx sim.Context, from graph.NodeID, m sim.Message) {
+	if p.rctx.ctx == nil {
+		// Defensive: a message before Init (cannot happen under sim's
+		// event loop, which always runs Init first).
+		p.rctx = rctx{p: p, ctx: ctx}
+	}
+	switch v := m.(type) {
+	case retxTimer:
+		p.onTimer(v)
+	case envAck:
+		if ol := p.out[from]; ol != nil {
+			delete(ol.pending, v.Seq)
+		}
+	case envData:
+		p.onData(from, v)
+	default:
+		// A raw message from an unwrapped peer, or the inner
+		// protocol's own timer: pass through.
+		p.inner.Handle(&p.rctx, from, m)
+	}
+}
+
+// sendData assigns the next sequence number on the link, transmits the
+// envelope and arms the retransmission timer.
+func (p *Proc) sendData(to graph.NodeID, m sim.Message, cl sim.Class) {
+	ol := p.out[to]
+	if ol == nil {
+		ol = &outLink{w: p.linkWeight(to), pending: make(map[int64]*pendingMsg)}
+		p.out[to] = ol
+	}
+	ol.next++
+	pm := &pendingMsg{payload: m, class: cl, rto: p.cfg.RTOFactor * ol.w}
+	ol.pending[ol.next] = pm
+	p.rctx.ctx.SendClass(to, envData{Seq: ol.next, Payload: m}, cl)
+	p.armTimer(to, ol.next, pm.rto)
+}
+
+// linkWeight resolves the weight of the edge the simulator will use
+// for sends to this neighbor (the first adjacency occurrence = lowest
+// edge ID, matching sim's parallel-edge resolution).
+func (p *Proc) linkWeight(to graph.NodeID) int64 {
+	for _, h := range p.rctx.ctx.Neighbors() {
+		if h.To == to {
+			return h.W
+		}
+	}
+	panic(fmt.Sprintf("reliable: node %d sent to non-neighbor %d", p.rctx.ctx.ID(), to))
+}
+
+// armTimer schedules the retransmission check. Without a TimerContext
+// (a foreign engine) the shim degrades to best-effort sequencing.
+func (p *Proc) armTimer(to graph.NodeID, seq, delay int64) {
+	if tc, ok := p.rctx.ctx.(sim.TimerContext); ok {
+		tc.ScheduleTimer(delay, retxTimer{To: to, Seq: seq})
+	}
+}
+
+// onTimer retransmits a still-pending message with doubled (capped)
+// timeout, or abandons it after MaxRetries.
+func (p *Proc) onTimer(t retxTimer) {
+	ol := p.out[t.To]
+	if ol == nil {
+		return
+	}
+	pm := ol.pending[t.Seq]
+	if pm == nil {
+		return // acknowledged; stale timer
+	}
+	if p.cfg.MaxRetries >= 0 && pm.retries >= p.cfg.MaxRetries {
+		// Peer presumed fail-stopped: abandon the message so the run
+		// terminates instead of retransmitting into the void forever.
+		delete(ol.pending, t.Seq)
+		p.giveUps++
+		return
+	}
+	pm.retries++
+	p.retransmits++
+	pm.rto *= 2
+	if lim := p.cfg.BackoffCap * ol.w; pm.rto > lim {
+		pm.rto = lim
+	}
+	p.rctx.ctx.SendClass(t.To, envData{Seq: t.Seq, Payload: pm.payload}, sim.ClassRetx)
+	p.armTimer(t.To, t.Seq, pm.rto)
+}
+
+// onData acknowledges the envelope, suppresses duplicates, and
+// delivers in sequence order — the inner protocol sees exactly-once
+// FIFO links.
+func (p *Proc) onData(from graph.NodeID, d envData) {
+	// Always (re-)acknowledge: the previous ack may have been lost.
+	p.rctx.ctx.SendClass(from, envAck{Seq: d.Seq}, sim.ClassAck)
+	il := p.in[from]
+	if il == nil {
+		il = &inLink{expected: 1}
+		p.in[from] = il
+	}
+	if d.Seq < il.expected {
+		p.dupsDropped++
+		return
+	}
+	if d.Seq > il.expected {
+		if il.buf == nil {
+			il.buf = make(map[int64]sim.Message)
+		}
+		if _, ok := il.buf[d.Seq]; ok {
+			p.dupsDropped++
+			return
+		}
+		il.buf[d.Seq] = d.Payload
+		return
+	}
+	il.expected++
+	p.inner.Handle(&p.rctx, from, d.Payload)
+	for {
+		next, ok := il.buf[il.expected]
+		if !ok {
+			return
+		}
+		delete(il.buf, il.expected)
+		il.expected++
+		p.inner.Handle(&p.rctx, from, next)
+	}
+}
+
+// Wrap builds one reliable shim per process. The returned Procs
+// implement sim.Process; pass them through Processes to a runner, or
+// use Install to hook an existing runner's option list.
+func Wrap(procs []sim.Process, cfg Config) []*Proc {
+	cfg = cfg.withDefaults()
+	out := make([]*Proc, len(procs))
+	for i, pr := range procs {
+		out[i] = &Proc{
+			inner: pr,
+			cfg:   cfg,
+			out:   make(map[graph.NodeID]*outLink),
+			in:    make(map[graph.NodeID]*inLink),
+		}
+	}
+	return out
+}
+
+// Processes widens a wrapped slice back to []sim.Process.
+func Processes(ps []*Proc) []sim.Process {
+	out := make([]sim.Process, len(ps))
+	for i, p := range ps {
+		out[i] = p
+	}
+	return out
+}
+
+// Layer gives access to the shims a runner created through Install,
+// for reading the reliability counters after the run.
+type Layer struct {
+	Procs []*Proc
+}
+
+// Retransmits sums retransmissions over all nodes.
+func (l *Layer) Retransmits() int64 {
+	var n int64
+	for _, p := range l.Procs {
+		n += p.retransmits
+	}
+	return n
+}
+
+// DupsSuppressed sums discarded duplicate arrivals over all nodes.
+func (l *Layer) DupsSuppressed() int64 {
+	var n int64
+	for _, p := range l.Procs {
+		n += p.dupsDropped
+	}
+	return n
+}
+
+// GiveUps sums abandoned messages over all nodes.
+func (l *Layer) GiveUps() int64 {
+	var n int64
+	for _, p := range l.Procs {
+		n += p.giveUps
+	}
+	return n
+}
+
+// Install returns a sim.Option that wraps every process of the network
+// it is applied to, plus the Layer through which the shims can be read
+// after the run. This is how existing runners (mst.RunGHS,
+// synch.RunGammaW, …) gain reliable delivery without modification:
+//
+//	opt, layer := reliable.Install(reliable.Config{})
+//	res, err := mst.RunGHS(g, opt, sim.WithFaults(plan), sim.WithSeed(s))
+//	_ = layer.Retransmits()
+func Install(cfg Config) (sim.Option, *Layer) {
+	l := &Layer{}
+	opt := sim.WithProcessWrapper(func(ps []sim.Process) []sim.Process {
+		l.Procs = Wrap(ps, cfg)
+		return Processes(l.Procs)
+	})
+	return opt, l
+}

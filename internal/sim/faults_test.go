@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+// faultFlooder floods one token from node 0; every receiver forwards
+// once. Deterministic given the network seed.
+type faultFlooder struct{ got bool }
+
+func (f *faultFlooder) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		f.got = true
+		for _, h := range ctx.Neighbors() {
+			ctx.Send(h.To, "tok")
+		}
+	}
+}
+
+func (f *faultFlooder) Handle(ctx Context, from graph.NodeID, m Message) {
+	if f.got {
+		return
+	}
+	f.got = true
+	for _, h := range ctx.Neighbors() {
+		if h.To != from {
+			ctx.Send(h.To, m)
+		}
+	}
+}
+
+func flooders(n int) []Process {
+	procs := make([]Process, n)
+	for v := range procs {
+		procs[v] = &faultFlooder{}
+	}
+	return procs
+}
+
+// TestEmptyFaultPlanIsIdentity: installing an empty plan must not
+// change a single observable of the run — same Stats, same RNG stream.
+func TestEmptyFaultPlanIsIdentity(t *testing.T) {
+	g := graph.RandomConnected(30, 80, graph.UniformWeights(16, 3), 3)
+	plain, err := Run(g, flooders(g.N()), WithDelay(DelayUniform{}), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := Run(g, flooders(g.N()), WithDelay(DelayUniform{}), WithSeed(9), WithFaults(FaultPlan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flatten(plain) != flatten(faulty) {
+		t.Errorf("empty fault plan perturbed the run:\n plain  %+v\n faulty %+v", flatten(plain), flatten(faulty))
+	}
+	if faulty.Dropped != 0 || faulty.Duplicated != 0 || faulty.DeadLetters != 0 {
+		t.Errorf("empty plan injected faults: %+v", faulty)
+	}
+}
+
+// TestDropAccounting: dropped messages are paid for (Messages/Comm)
+// but never delivered, and the observer sees one OnSend plus one
+// OnDrop for each.
+func TestDropAccounting(t *testing.T) {
+	g := graph.RandomConnected(40, 100, graph.UniformWeights(8, 5), 5)
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	st, err := Run(g, flooders(g.N()), WithSeed(5), WithFaults(FaultPlan{Drop: 0.4}), WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("40% drop over 100+ sends lost nothing")
+	}
+	if o.sends != st.Messages+st.Duplicated {
+		t.Errorf("OnSend fired %d times, want Messages+Duplicated = %d", o.sends, st.Messages+st.Duplicated)
+	}
+	if o.delivers+o.drops != o.sends {
+		t.Errorf("sends=%d but delivers=%d + drops=%d: a message vanished without a probe", o.sends, o.delivers, o.drops)
+	}
+	if o.drops != st.Dropped+st.DeadLetters {
+		t.Errorf("OnDrop fired %d times, Stats says %d", o.drops, st.Dropped+st.DeadLetters)
+	}
+	if !o.seqDense {
+		t.Error("probe sequence numbers are not dense under drops")
+	}
+	if !o.deliverOK {
+		t.Error("a deliver/drop carried a sequence number never sent")
+	}
+}
+
+// TestDuplicationDelivers: duplicates arrive as extra deliveries but
+// are not accounted — the protocol did not pay for them.
+func TestDuplicationDelivers(t *testing.T) {
+	g := graph.RandomConnected(30, 80, graph.UniformWeights(8, 7), 7)
+	plain, err := Run(g, flooders(g.N()), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(g, flooders(g.N()), WithSeed(7), WithFaults(FaultPlan{Dup: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicated == 0 {
+		t.Fatal("50% duplication injected no copies")
+	}
+	if st.Messages != plain.Messages || st.Comm != plain.Comm {
+		t.Errorf("duplicates were accounted: faulty %d/%d vs plain %d/%d msgs/comm",
+			st.Messages, st.Comm, plain.Messages, plain.Comm)
+	}
+	if st.Events != plain.Events+st.Duplicated {
+		t.Errorf("Events = %d, want plain %d + duplicated %d", st.Events, plain.Events, st.Duplicated)
+	}
+}
+
+// downProbe sends over its single edge at t=0 (inside the outage) and
+// again via timer at t=10 (after it).
+type downProbe struct{ delivered int }
+
+func (p *downProbe) Init(ctx Context) {
+	if ctx.ID() != 0 {
+		return
+	}
+	ctx.Send(1, "early")
+	ctx.(TimerContext).ScheduleTimer(10, "wake")
+}
+
+func (p *downProbe) Handle(ctx Context, from graph.NodeID, m Message) {
+	if m == "wake" {
+		ctx.Send(1, "late")
+		return
+	}
+	p.delivered++
+}
+
+// TestLinkDownWindow: sends inside [From, Until) are dropped at the
+// sender; sends after the window pass.
+func TestLinkDownWindow(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights())
+	procs := []Process{&downProbe{}, &downProbe{}}
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	st, err := Run(g, procs,
+		WithFaults(FaultPlan{Down: []LinkDown{{Edge: 0, From: 0, Until: 5}}}),
+		WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (the t=0 send)", st.Dropped)
+	}
+	if got := procs[1].(*downProbe).delivered; got != 1 {
+		t.Errorf("node 1 got %d deliveries, want 1 (the t=10 send)", got)
+	}
+	if o.linkDowns != 1 {
+		t.Errorf("OnLinkDown fired %d times, want 1", o.linkDowns)
+	}
+	if st.Timers != 1 {
+		t.Errorf("Timers = %d, want 1", st.Timers)
+	}
+}
+
+// TestCrashDeadLetters: a message in flight toward a node that
+// fail-stops before it arrives becomes a dead letter; OnCrash fires
+// exactly once.
+func TestCrashDeadLetters(t *testing.T) {
+	g := graph.Path(2, graph.UniformWeights(5, 1)) // arrival at t = w(e) >= 1
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	st, err := Run(g, flooders(2),
+		WithFaults(FaultPlan{Crashes: []Crash{{Node: 1, At: 1}}}),
+		WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeadLetters != 1 {
+		t.Errorf("DeadLetters = %d, want 1 (crash at t=1, arrival at t=%d)", st.DeadLetters, g.Edge(0).W)
+	}
+	if o.crashes != 1 {
+		t.Errorf("OnCrash fired %d times, want 1", o.crashes)
+	}
+	if o.drops != 1 {
+		t.Errorf("OnDrop fired %d times, want 1", o.drops)
+	}
+}
+
+// TestCrashAtZeroNeverStarts: a node crashed at t <= 0 does not even
+// run Init.
+func TestCrashAtZeroNeverStarts(t *testing.T) {
+	g := graph.Path(3, graph.UnitWeights())
+	st, err := Run(g, flooders(3), WithFaults(FaultPlan{Crashes: []Crash{{Node: 0, At: 0}}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages != 0 {
+		t.Errorf("crashed-at-0 root still sent %d messages", st.Messages)
+	}
+}
+
+// pingPonger bounces a token forever — the divergence the event-limit
+// watchdog exists for.
+type pingPonger struct{}
+
+func (pingPonger) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.Send(1, "ping")
+	}
+}
+
+func (pingPonger) Handle(ctx Context, from graph.NodeID, m Message) {
+	ctx.Send(from, m)
+}
+
+// TestErrEventLimitTyped: the watchdog returns the typed error with
+// livelock context, detectable through errors.As.
+func TestErrEventLimitTyped(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights())
+	_, err := Run(g, []Process{pingPonger{}, pingPonger{}}, WithEventLimit(100))
+	if err == nil {
+		t.Fatal("diverging ping-pong terminated")
+	}
+	var el *ErrEventLimit
+	if !errors.As(err, &el) {
+		t.Fatalf("error is %T, want *ErrEventLimit", err)
+	}
+	if el.Limit != 100 {
+		t.Errorf("Limit = %d, want 100", el.Limit)
+	}
+	if el.LastTime <= 0 {
+		t.Errorf("LastTime = %d, want > 0", el.LastTime)
+	}
+	if el.InFlight < 1 {
+		t.Errorf("InFlight = %d, want >= 1 (the bouncing token)", el.InFlight)
+	}
+}
+
+// timerEcho schedules a chain of free timers; they must burn event
+// budget but no communication.
+type timerEcho struct{ fired int }
+
+func (e *timerEcho) Init(ctx Context) {
+	if ctx.ID() == 0 {
+		ctx.(TimerContext).ScheduleTimer(3, int(0))
+	}
+}
+
+func (e *timerEcho) Handle(ctx Context, from graph.NodeID, m Message) {
+	if from != ctx.ID() {
+		return // not a timer
+	}
+	e.fired++
+	if k := m.(int); k < 4 {
+		ctx.(TimerContext).ScheduleTimer(3, k+1)
+	}
+}
+
+// TestTimersAreFree: timers consume Events only — no Messages, no
+// Comm, no observer send/deliver probes.
+func TestTimersAreFree(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights())
+	procs := []Process{&timerEcho{}, &timerEcho{}}
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	st, err := Run(g, procs, WithObserver(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Timers != 5 || procs[0].(*timerEcho).fired != 5 {
+		t.Errorf("Timers = %d (fired %d), want 5", st.Timers, procs[0].(*timerEcho).fired)
+	}
+	if st.Messages != 0 || st.Comm != 0 {
+		t.Errorf("timers were accounted as communication: %+v", st)
+	}
+	if st.Events != 5 {
+		t.Errorf("Events = %d, want 5 (one per firing)", st.Events)
+	}
+	if o.sends != 0 || o.delivers != 0 {
+		t.Errorf("timers reached send/deliver probes: sends=%d delivers=%d", o.sends, o.delivers)
+	}
+	if st.FinishTime != 15 {
+		t.Errorf("FinishTime = %d, want 15 (five timers x 3)", st.FinishTime)
+	}
+}
+
+// chaosPlan is the fault plan used by the golden faulty determinism
+// tests: all fault kinds at once.
+func chaosPlan(g *graph.Graph) FaultPlan {
+	return FaultPlan{
+		Drop: 0.15,
+		Dup:  0.10,
+		Down: []LinkDown{
+			{Edge: 3, From: 2, Until: 12},
+			{Edge: 7, From: 5, Until: 9},
+			{Edge: 3, From: 10, Until: 20}, // overlaps the first window
+		},
+		Crashes: []Crash{{Node: graph.NodeID(g.N() - 1), At: 25}},
+	}
+}
+
+// faultyGolden is the flattened comparable form of a faulty run.
+type faultyGolden struct {
+	goldenStats
+	Dropped     int64
+	Duplicated  int64
+	DeadLetters int64
+	Timers      int64
+	Sends       int64
+	Delivers    int64
+	Drops       int64
+	Crashes     int64
+	LinkDowns   int64
+}
+
+func runFaultyCase(t *testing.T, c detCase) faultyGolden {
+	t.Helper()
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	o := &countingObserver{seqDense: true, deliverOK: true}
+	opts := []Option{WithDelay(c.delay), WithSeed(c.seed), WithFaults(chaosPlan(g)), WithObserver(o)}
+	if c.congested {
+		opts = append(opts, WithCongestion())
+	}
+	st, err := Run(g, flooders(g.N()), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.seqDense {
+		t.Error("probe sequences not dense under faults")
+	}
+	if o.delivers+o.drops != o.sends {
+		t.Errorf("probe imbalance: sends=%d delivers=%d drops=%d", o.sends, o.delivers, o.drops)
+	}
+	return faultyGolden{
+		goldenStats: flatten(st),
+		Dropped:     st.Dropped, Duplicated: st.Duplicated,
+		DeadLetters: st.DeadLetters, Timers: st.Timers,
+		Sends: o.sends, Delivers: o.delivers, Drops: o.drops,
+		Crashes: o.crashes, LinkDowns: o.linkDowns,
+	}
+}
+
+// TestFaultyStatsDeterministic mirrors determinism_test.go for faulty
+// runs: two identical seeded runs with the same plan must agree on
+// every Stats field and every probe count, across all delay models and
+// both link disciplines.
+func TestFaultyStatsDeterministic(t *testing.T) {
+	for _, c := range detCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			a := runFaultyCase(t, c)
+			b := runFaultyCase(t, c)
+			if a != b {
+				t.Errorf("faulty replay diverged:\n run1 %+v\n run2 %+v", a, b)
+			}
+			if a.Dropped == 0 && a.Duplicated == 0 {
+				t.Error("chaos plan injected nothing — the case is vacuous")
+			}
+			if a.LinkDowns != 2 {
+				t.Errorf("observed %d link-down windows, want 2 (third merges into the first)", a.LinkDowns)
+			}
+			if a.Crashes != 1 {
+				t.Errorf("observed %d crashes, want 1", a.Crashes)
+			}
+		})
+	}
+}
+
+// TestRandomFaultPlanReproducible: same (graph, seed, knobs) — same
+// plan; node 0 never crashes.
+func TestRandomFaultPlanReproducible(t *testing.T) {
+	g := graph.RandomConnected(20, 40, graph.UniformWeights(10, 1), 1)
+	a := RandomFaultPlan(g, 99, 0.2, 0.1, 3, 4, 100)
+	b := RandomFaultPlan(g, 99, 0.2, 0.1, 3, 4, 100)
+	if len(a.Crashes) != 3 || len(a.Down) != 4 {
+		t.Fatalf("plan shape: %d crashes, %d downs", len(a.Crashes), len(a.Down))
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatal("crash schedule not reproducible")
+		}
+		if a.Crashes[i].Node == 0 {
+			t.Error("RandomFaultPlan crashed node 0 (the conventional root)")
+		}
+	}
+	for i := range a.Down {
+		if a.Down[i] != b.Down[i] {
+			t.Fatal("down windows not reproducible")
+		}
+	}
+}
+
+// TestWithProcessWrapper: the wrapper sees every process and its
+// replacements run.
+func TestWithProcessWrapper(t *testing.T) {
+	g := graph.Path(3, graph.UnitWeights())
+	wrapped := 0
+	_, err := Run(g, flooders(3), WithProcessWrapper(func(ps []Process) []Process {
+		wrapped = len(ps)
+		return ps
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped != 3 {
+		t.Errorf("wrapper saw %d processes, want 3", wrapped)
+	}
+}

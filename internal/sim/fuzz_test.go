@@ -123,24 +123,41 @@ func TestEngineDeterminismUnderChaos(t *testing.T) {
 }
 
 // FuzzEngineChaos is the native fuzz entry for the same engine
-// invariants: the fuzzer mutates the topology/seed/budget tuple, and
-// for every input the run must account exactly what the processes
-// sent, finish at a delivery time, and replay bit-identically. The
-// seed corpus is checked in under testdata/fuzz/FuzzEngineChaos so CI
-// and fresh clones exercise known-interesting engine regimes (tiny
-// rings, parallel-edge multigraphs, heavy congestion) without a long
-// fuzzing session.
+// invariants, now with fault injection in the loop: the fuzzer mutates
+// the topology/seed/budget tuple plus a fault plan (drop and
+// duplication probabilities, an optional fail-stop crash, an optional
+// link outage), and for every input the run must account exactly what
+// the processes sent (drops are charged to the sender, duplicates are
+// free), conserve transmissions (every scheduled message is delivered,
+// dead-lettered, or was dropped at send), finish at an event time, and
+// replay bit-identically including all fault counters. The seed corpus
+// is checked in under testdata/fuzz/FuzzEngineChaos so CI and fresh
+// clones exercise known-interesting regimes (tiny rings, parallel-edge
+// multigraphs, heavy congestion, lossy links, crashed hubs) without a
+// long fuzzing session.
 func FuzzEngineChaos(f *testing.F) {
-	f.Add(int64(1), uint8(2), uint8(1), uint8(0))
-	f.Add(int64(21), uint8(12), uint8(8), uint8(1))
-	f.Add(int64(-7), uint8(30), uint8(20), uint8(2))
-	f.Fuzz(func(t *testing.T, seed int64, nRaw, budgetRaw, delayKind uint8) {
+	f.Add(int64(1), uint8(2), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(21), uint8(12), uint8(8), uint8(1), uint8(40), uint8(0), uint8(0))
+	f.Add(int64(-7), uint8(30), uint8(20), uint8(2), uint8(90), uint8(60), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, budgetRaw, delayKind, dropRaw, dupRaw, faultKind uint8) {
 		n := 2 + int(nRaw)%30
 		budget := 1 + int(budgetRaw)%20
 		delay := []DelayModel{DelayMax{}, DelayUnit{}, DelayUniform{}}[int(delayKind)%3]
 		rng := rand.New(rand.NewSource(seed))
 		m := n - 1 + rng.Intn(2*n)
 		g := graph.RandomConnected(n, m, graph.UniformWeights(1+rng.Int63n(40), seed), seed)
+
+		plan := FaultPlan{
+			Drop: float64(dropRaw%100) / 200, // 0 .. 0.495
+			Dup:  float64(dupRaw%100) / 250,  // 0 .. 0.396
+		}
+		if faultKind&1 != 0 {
+			plan.Crashes = []Crash{{Node: graph.NodeID(n - 1), At: 1 + int64(faultKind>>2)}}
+		}
+		if faultKind&2 != 0 {
+			from := int64(faultKind >> 3)
+			plan.Down = []LinkDown{{Edge: 0, From: from, Until: from + 9}}
+		}
 
 		runOnce := func() (*Stats, []*chaosProc) {
 			procs := make([]Process, n)
@@ -149,7 +166,7 @@ func FuzzEngineChaos(f *testing.F) {
 				cs[v] = &chaosProc{rng: rand.New(rand.NewSource(seed + int64(v))), budget: budget}
 				procs[v] = cs[v]
 			}
-			stats, err := Run(g, procs, WithDelay(delay), WithSeed(seed))
+			stats, err := Run(g, procs, WithDelay(delay), WithSeed(seed), WithFaults(plan))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,12 +182,24 @@ func FuzzEngineChaos(f *testing.F) {
 			t.Fatalf("accounting mismatch: engine comm=%d msgs=%d, processes sent comm=%d msgs=%d",
 				s1.Comm, s1.Messages, wantComm, wantMsgs)
 		}
-		if s1.Messages > 0 && s1.FinishTime <= 0 {
-			t.Fatalf("%d messages delivered but FinishTime=%d", s1.Messages, s1.FinishTime)
+		// Conservation: chaosProc schedules no timers, so every queue
+		// event is a scheduled transmission — an original that survived
+		// its send-time drop draw, or a duplicate (never drop-drawn).
+		if s1.Events != s1.Messages-s1.Dropped+s1.Duplicated {
+			t.Fatalf("transmission conservation violated: events=%d, messages=%d dropped=%d duplicated=%d",
+				s1.Events, s1.Messages, s1.Dropped, s1.Duplicated)
+		}
+		if s1.DeadLetters > s1.Events {
+			t.Fatalf("%d dead letters exceed %d events", s1.DeadLetters, s1.Events)
+		}
+		if s1.Events > 0 && s1.FinishTime <= 0 {
+			t.Fatalf("%d events processed but FinishTime=%d", s1.Events, s1.FinishTime)
 		}
 		s2, _ := runOnce()
 		if s1.Comm != s2.Comm || s1.Messages != s2.Messages ||
-			s1.FinishTime != s2.FinishTime || s1.Events != s2.Events {
+			s1.FinishTime != s2.FinishTime || s1.Events != s2.Events ||
+			s1.Dropped != s2.Dropped || s1.Duplicated != s2.Duplicated ||
+			s1.DeadLetters != s2.DeadLetters {
 			t.Fatalf("nondeterministic replay: run1=%+v run2=%+v", s1, s2)
 		}
 	})

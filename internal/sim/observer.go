@@ -15,6 +15,7 @@ type SendEvent struct {
 	To     graph.NodeID
 	Edge   graph.EdgeID
 	Class  Class
+	Dup    bool // fault-injected duplicate copy (not accounted in Stats)
 }
 
 // Wait returns the time the message spends queued behind the edge's
@@ -33,6 +34,23 @@ type DeliverEvent struct {
 	From graph.NodeID
 	To   graph.NodeID
 	Edge graph.EdgeID
+	Dup  bool // this delivery is a fault-injected duplicate copy
+}
+
+// DropEvent describes one message the fault adversary destroyed. For
+// send-time drops (DropLoss, DropLinkDown) Time is the send time and
+// Class is the message's accounting class; for delivery-time drops
+// (DropCrash) Time is the would-be arrival and Class is empty — the
+// event loop does not retain class labels across the queue.
+type DropEvent struct {
+	Time   int64 // when the message was destroyed
+	Seq    int64 // sequence number of the matching SendEvent
+	W      int64 // edge weight (the cost the sender still paid)
+	From   graph.NodeID
+	To     graph.NodeID
+	Edge   graph.EdgeID
+	Class  Class
+	Reason DropReason
 }
 
 // Observer receives the simulator's probe callbacks. Install one with
@@ -45,10 +63,11 @@ type DeliverEvent struct {
 //   - Callbacks run synchronously inside the event loop, in the
 //     deterministic event order; an observer must not call back into
 //     the Network (no sends, no Run).
-//   - OnSend/OnDeliver must not retain m past the call: payloads live
-//     in the Network's recycled message arena. Copy what you need.
-//     costsense-vet's arenaref analyzer enforces this for methods
-//     named OnSend/OnDeliver, exactly as it does for Handle.
+//   - OnSend/OnDeliver/OnDrop must not retain m past the call:
+//     payloads live in the Network's recycled message arena. Copy what
+//     you need. costsense-vet's arenaref analyzer enforces this for
+//     methods named OnSend/OnDeliver/OnDrop, exactly as it does for
+//     Handle.
 //   - An observer that wants to stay off the allocation profile must
 //     record into preallocated or amortized-growth buffers, as the
 //     bundled internal/obs observers do.
@@ -57,8 +76,20 @@ type Observer interface {
 	// scheduled, before anything else happens at this time step.
 	OnSend(e SendEvent, m Message)
 	// OnDeliver fires when the event loop dequeues a delivery, just
-	// before the destination's Handle runs.
+	// before the destination's Handle runs. Timers (TimerContext) are
+	// not transmissions and never reach OnDeliver.
 	OnDeliver(e DeliverEvent, m Message)
+	// OnDrop fires when the fault adversary destroys a message: at
+	// send time for losses and link outages, at arrival time for dead
+	// letters to crashed nodes. Every probe sequence number sees
+	// exactly one OnSend followed by exactly one OnDeliver or OnDrop.
+	OnDrop(e DropEvent, m Message)
+	// OnCrash fires when simulated time first reaches a scheduled
+	// fail-stop (once per crashed node, in time order).
+	OnCrash(node graph.NodeID, at int64)
+	// OnLinkDown fires when simulated time first reaches the start of
+	// a scheduled link outage window (once per window, in time order).
+	OnLinkDown(e graph.EdgeID, from, until int64)
 	// OnRecord fires for every Context.Record call.
 	OnRecord(node graph.NodeID, time int64, key string, value int64)
 	// OnQuiesce fires once, after the event queue drains, with the

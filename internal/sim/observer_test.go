@@ -12,6 +12,9 @@ import (
 type countingObserver struct {
 	sends     int64
 	delivers  int64
+	drops     int64
+	crashes   int64
+	linkDowns int64
 	records   int64
 	quiesces  int64
 	comm      int64
@@ -40,6 +43,17 @@ func (o *countingObserver) OnDeliver(e DeliverEvent, _ Message) {
 		o.deliverOK = false
 	}
 }
+
+func (o *countingObserver) OnDrop(e DropEvent, _ Message) {
+	o.drops++
+	if e.Seq <= 0 || e.Seq > o.lastSeq {
+		o.deliverOK = false
+	}
+}
+
+func (o *countingObserver) OnCrash(_ graph.NodeID, _ int64) { o.crashes++ }
+
+func (o *countingObserver) OnLinkDown(_ graph.EdgeID, _, _ int64) { o.linkDowns++ }
 
 func (o *countingObserver) OnRecord(_ graph.NodeID, _ int64, _ string, _ int64) { o.records++ }
 

@@ -26,6 +26,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -46,6 +47,7 @@ const (
 	ClassAck     Class = "ack"     // acknowledgments (free asymptotically, §4.1)
 	ClassSync    Class = "sync"    // synchronizer overhead
 	ClassControl Class = "control" // controller overhead
+	ClassRetx    Class = "retx"    // reliable-delivery retransmissions (internal/reliable)
 )
 
 // Context is the interface a process uses to interact with the network.
@@ -127,6 +129,17 @@ type Stats struct {
 	FinishTime int64 // completion time t_π (time of last delivery)
 	ByClass    map[Class]ClassStats
 	Events     int64 // deliveries processed (safety budget accounting)
+	// Fault accounting (all zero without WithFaults). Dropped and
+	// Duplicated count send-time faults; DeadLetters counts messages
+	// that arrived at a crashed node. Dropped messages are still
+	// accounted in Messages/Comm — the sender paid for the
+	// transmission — while duplicates are free (the adversary, not the
+	// protocol, injected them). Timers counts ScheduleTimer firings;
+	// timers are free and appear in Events only.
+	Dropped     int64
+	Duplicated  int64
+	DeadLetters int64
+	Timers      int64
 	// UsedEdges marks the edges that carried at least one message —
 	// the subgraph G' of the Theorem 2.1 information-flow argument.
 	UsedEdges []bool
@@ -194,13 +207,21 @@ type TracePoint struct {
 // 32 bytes: the payload lives in the Network's message arena (indexed
 // by msgIdx) and endpoints are narrowed to int32, so sifting events
 // through the heap moves four plain words with no GC write barriers.
+// The fault/timer markers share the struct's existing padding byte.
 type event struct {
 	at     int64
 	seq    int64
 	to     int32
 	from   int32
 	msgIdx int32
+	flags  uint8
 }
+
+// event.flags bits.
+const (
+	flagTimer uint8 = 1 << iota // self-scheduled timer, not a transmission
+	flagDup                     // fault-injected duplicate copy
+)
 
 // Less orders events by (time, send sequence): the unique sequence
 // number makes the order total, so runs are deterministic no matter how
@@ -245,6 +266,23 @@ func WithCongestion() Option {
 	return func(n *Network) { n.congested = true }
 }
 
+// WithProcessWrapper rewraps every process through wrap before the run
+// starts: wrap receives the configured process slice and returns the
+// slice to actually execute, one process per vertex. This is the hook
+// adapter layers use to interpose on an *arbitrary* runner — e.g.
+// internal/reliable wraps each protocol automaton with a
+// retransmitting, deduplicating shim by passing this option to RunGHS
+// or RunGammaW, leaving the protocols themselves untouched.
+func WithProcessWrapper(wrap func([]Process) []Process) Option {
+	return func(n *Network) {
+		ps := wrap(n.procs)
+		if len(ps) != len(n.procs) {
+			panic(fmt.Sprintf("sim: WithProcessWrapper returned %d processes for %d vertices", len(ps), len(n.procs)))
+		}
+		n.procs = ps
+	}
+}
+
 // halfEdge is one entry of the per-node neighbor index: the directed
 // half-edge toward `to`, carrying the canonical stored edge and the
 // directed-edge slot in lastArrive. Entries are sorted by `to`; for
@@ -252,10 +290,11 @@ func WithCongestion() Option {
 // first and is the one send resolves, matching the semantics of the
 // adjacency-scan it replaces.
 type halfEdge struct {
-	to  graph.NodeID
-	w   int64
-	did int32 // directed-edge index: 2*edge.ID + orientation
-	eid graph.EdgeID
+	to    graph.NodeID
+	w     int64
+	did   int32 // directed-edge index: 2*edge.ID + orientation
+	fdown uint8 // nonzero when the edge has scheduled down-windows (WithFaults)
+	eid   graph.EdgeID
 }
 
 // nClassHint sizes the interned-class table: the four standard classes
@@ -271,10 +310,12 @@ type Network struct {
 	rng        *rand.Rand
 	queue      pq.Heap[event]
 	now        int64
-	seq        int64
+	seq        int64   // heap tie-break: one per pushed event (sends, duplicates, timers)
+	sendSeq    int64   // probe sequence: one per OnSend-visible transmission, dense 1..S
 	lastArrive []int64 // directed-edge ID -> last scheduled arrival (FIFO) / busy-until (congested)
 	nbr        [][]halfEdge
 	msgs       []Message // in-flight payload arena, indexed by event.msgIdx
+	msgSeq     []int64   // arena slot -> probe sequence (0 for timers), parallel to msgs
 	msgFree    []int32   // free slots in msgs
 	delayIsMax bool      // devirtualized fast path for the default DelayMax
 	stats      Stats
@@ -286,7 +327,8 @@ type Network struct {
 	congested  bool
 	ran        bool
 	ctxs       []nodeCtx
-	obs        Observer // nil unless WithObserver installed one
+	obs        Observer    // nil unless WithObserver installed one
+	faults     *faultState // nil unless WithFaults installed a plan
 }
 
 // NewNetwork creates a network running procs[v] at vertex v.
@@ -307,6 +349,7 @@ func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, erro
 	// few in-flight messages per edge; both still grow on demand.
 	n.queue = *pq.NewHeap[event](2 * g.M())
 	n.msgs = make([]Message, 0, 2*g.M())
+	n.msgSeq = make([]int64, 0, 2*g.M())
 	n.stats.UsedEdges = make([]bool, g.M())
 	n.classes = make([]Class, 0, nClassHint)
 	n.classStats = make([]ClassStats, 0, nClassHint)
@@ -444,6 +487,36 @@ func (c *nodeCtx) Record(key string, value int64) {
 	}
 }
 
+// TimerContext is the optional timer capability of a Context. The
+// engine's nodeCtx implements it; adapter layers that need wake-ups
+// without a peer message (retransmission timeouts in internal/reliable)
+// discover it by type assertion, so the core Context interface — and
+// every existing protocol — is untouched.
+type TimerContext interface {
+	// ScheduleTimer delivers m back to this node after delay time
+	// units (minimum 1). Timers are free — no communication is
+	// accounted and no Observer send/deliver probes fire — but each
+	// firing consumes one event from the WithEventLimit budget, so
+	// timer loops cannot hang a run.
+	ScheduleTimer(delay int64, m Message)
+}
+
+var _ TimerContext = (*nodeCtx)(nil)
+
+// ScheduleTimer implements TimerContext.
+//
+//costsense:hotpath
+func (c *nodeCtx) ScheduleTimer(delay int64, m Message) {
+	if delay < 1 {
+		delay = 1
+	}
+	n := c.net
+	n.seq++
+	slot := n.allocSlot(m, 0)
+	n.queue.Push(event{at: n.now + delay, seq: n.seq, to: int32(c.id), from: int32(c.id), msgIdx: slot, flags: flagTimer})
+	n.stats.Timers++
+}
+
 // half resolves the directed half-edge from -> to, or nil when the
 // vertices are not adjacent. Leftmost binary search: parallel edges
 // resolve to the lowest edge ID.
@@ -467,8 +540,10 @@ func (n *Network) half(from, to graph.NodeID) *halfEdge {
 }
 
 // send is the per-message hot path: resolve the half-edge, account the
-// cost, pick the delay, and schedule the delivery — no allocations
-// beyond amortized growth of the queue and the payload arena.
+// cost, consult the fault adversary, pick the delay, and schedule the
+// delivery — no allocations beyond amortized growth of the queue and
+// the payload arena. Without WithFaults the fault adversary is one nil
+// check and the RNG stream is untouched.
 //
 //costsense:hotpath
 func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
@@ -485,9 +560,45 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 	n.classStats[ci].Messages++
 	n.classStats[ci].Comm += w
 
+	if n.faults != nil {
+		if reason := n.faults.dropSend(h, n.now, n.rng); reason != 0 {
+			// The transmission is paid for (the sender spent its w(e)
+			// on the wire) but never scheduled.
+			n.stats.Dropped++
+			n.sendSeq++
+			if n.obs != nil {
+				n.obs.OnSend(SendEvent{
+					Time: n.now, Arrive: n.now, Delay: 0, Seq: n.sendSeq, W: w,
+					From: from, To: to, Edge: h.eid, Class: cl,
+				}, m)
+				n.obs.OnDrop(DropEvent{
+					Time: n.now, Seq: n.sendSeq, W: w,
+					From: from, To: to, Edge: h.eid, Class: cl, Reason: reason,
+				}, m)
+			}
+			return
+		}
+	}
+	n.schedule(h, from, to, m, cl, 0)
+	if n.faults != nil && n.faults.dup > 0 && n.rng.Float64() < n.faults.dup {
+		// Duplicate: a second, independent copy of the same payload.
+		// It draws its own delay but shares the FIFO floor, so it
+		// arrives at or after the original. The copy is not accounted
+		// — the adversary injected it, the protocol didn't pay for it.
+		n.stats.Duplicated++
+		n.schedule(h, from, to, m, cl, flagDup)
+	}
+}
+
+// schedule enqueues one transmission on the resolved half-edge: draw
+// the delay, apply FIFO/congestion ordering, place the payload in the
+// arena and fire the OnSend probe.
+//
+//costsense:hotpath
+func (n *Network) schedule(h *halfEdge, from, to graph.NodeID, m Message, cl Class, flags uint8) {
 	var d int64
 	if n.delayIsMax {
-		d = w
+		d = h.w
 	} else {
 		d = n.delay.Delay(n.g.Edge(h.eid), n.rng)
 	}
@@ -509,24 +620,34 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 	}
 	n.lastArrive[h.did] = at
 	n.seq++
-	var slot int32
-	if k := len(n.msgFree); k > 0 {
-		slot = n.msgFree[k-1]
-		n.msgFree = n.msgFree[:k-1]
-		n.msgs[slot] = m
-	} else {
-		slot = int32(len(n.msgs))
-		n.msgs = append(n.msgs, m)
-	}
-	n.queue.Push(event{at: at, seq: n.seq, to: int32(to), from: int32(from), msgIdx: slot})
+	n.sendSeq++
+	slot := n.allocSlot(m, n.sendSeq)
+	n.queue.Push(event{at: at, seq: n.seq, to: int32(to), from: int32(from), msgIdx: slot, flags: flags})
 	if n.obs != nil {
 		// SendEvent is all scalars and passed by value: the probe adds
 		// one branch and no allocation to the unobserved path.
 		n.obs.OnSend(SendEvent{
-			Time: n.now, Arrive: at, Delay: d, Seq: n.seq, W: w,
-			From: from, To: to, Edge: h.eid, Class: cl,
+			Time: n.now, Arrive: at, Delay: d, Seq: n.sendSeq, W: h.w,
+			From: from, To: to, Edge: h.eid, Class: cl, Dup: flags&flagDup != 0,
 		}, m)
 	}
+}
+
+// allocSlot places a payload in the arena, reusing a freed slot when
+// one exists, and records its probe sequence (0 for timers).
+//
+//costsense:hotpath
+func (n *Network) allocSlot(m Message, seq int64) int32 {
+	if k := len(n.msgFree); k > 0 {
+		slot := n.msgFree[k-1]
+		n.msgFree = n.msgFree[:k-1]
+		n.msgs[slot] = m
+		n.msgSeq[slot] = seq
+		return slot
+	}
+	n.msgs = append(n.msgs, m)
+	n.msgSeq = append(n.msgSeq, seq)
+	return int32(len(n.msgs) - 1)
 }
 
 // Run initializes every process at time 0 and drives the event queue to
@@ -541,30 +662,66 @@ func (n *Network) Run() (*Stats, error) {
 	}
 	n.ran = true
 	for v := range n.procs {
+		if n.faults != nil && n.faults.crashAt[v] <= 0 {
+			continue // fail-stop at t <= 0: the node never starts
+		}
 		n.procs[v].Init(&n.ctxs[v])
 	}
 	for n.queue.Len() > 0 {
 		if n.stats.Events >= n.eventLimit {
 			//costsense:alloc-ok cold path: constructing the divergence error, run over
-			return nil, fmt.Errorf("sim: event limit %d exceeded at t=%d (diverging protocol?)", n.eventLimit, n.now)
+			return nil, &ErrEventLimit{Limit: n.eventLimit, LastTime: n.now, InFlight: n.queue.Len()}
 		}
 		ev := n.queue.Pop()
 		n.now = ev.at
 		n.stats.Events++
+		if n.faults != nil {
+			n.faults.observeUpTo(n, ev.at)
+		}
 		m := n.msgs[ev.msgIdx]
+		sseq := n.msgSeq[ev.msgIdx]
 		n.msgs[ev.msgIdx] = nil
 		n.msgFree = append(n.msgFree, ev.msgIdx)
+		if n.faults != nil && n.faults.crashAt[ev.to] <= n.now {
+			// Fail-stop destination: the message is lost on arrival.
+			if ev.flags&flagTimer != 0 {
+				continue // a crashed node's timer fires into the void
+			}
+			n.stats.DeadLetters++
+			if n.obs != nil {
+				h := n.half(graph.NodeID(ev.from), graph.NodeID(ev.to))
+				n.obs.OnDrop(DropEvent{
+					Time: n.now, Seq: sseq, W: h.w,
+					From: graph.NodeID(ev.from), To: graph.NodeID(ev.to), Edge: h.eid,
+					Reason: DropCrash,
+				}, m)
+			}
+			continue
+		}
+		if ev.flags&flagTimer != 0 {
+			// Self-scheduled timer: free, never a transmission, so no
+			// OnDeliver probe; it still burns one Events unit.
+			n.procs[ev.to].Handle(&n.ctxs[ev.to], graph.NodeID(ev.to), m)
+			continue
+		}
 		if n.obs != nil {
 			// Re-resolve the half-edge: send always picks the leftmost
 			// (lowest-ID) parallel edge, so this lookup reproduces the
 			// edge the message actually used, deterministically.
 			h := n.half(graph.NodeID(ev.from), graph.NodeID(ev.to))
 			n.obs.OnDeliver(DeliverEvent{
-				Time: ev.at, Seq: ev.seq, W: h.w,
+				Time: ev.at, Seq: sseq, W: h.w,
 				From: graph.NodeID(ev.from), To: graph.NodeID(ev.to), Edge: h.eid,
+				Dup: ev.flags&flagDup != 0,
 			}, m)
 		}
 		n.procs[ev.to].Handle(&n.ctxs[ev.to], graph.NodeID(ev.from), m)
+	}
+	if n.faults != nil {
+		// Flush fault activations past the last event so OnCrash and
+		// OnLinkDown fire exactly once per scheduled fault per run,
+		// keeping exports independent of where the run happened to end.
+		n.faults.observeUpTo(n, math.MaxInt64)
 	}
 	n.stats.FinishTime = n.now
 	// Materialize the public per-class view from the dense counters.

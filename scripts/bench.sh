@@ -2,10 +2,11 @@
 # bench.sh — measure the simulator engine and refresh BENCH_sim.json.
 #
 # Runs the pure-engine throughput benchmark (BenchmarkEngineFlood:
-# flooding on a 5000-node / 40000-edge random graph) and its
-# observer-attached twin (BenchmarkEngineObserved) several times and
-# records the averaged numbers next to the frozen pre-optimization
-# baseline. Run from the repository root:
+# flooding on a 5000-node / 40000-edge random graph), its
+# observer-attached twin (BenchmarkEngineObserved) and its
+# fault-injected twin (BenchmarkEngineFaulty, informational) several
+# times and records the averaged numbers next to the frozen
+# pre-optimization baseline. Run from the repository root:
 #
 #   ./scripts/bench.sh
 #
@@ -27,7 +28,7 @@ if [ "${BENCH_CHECK:-0}" = "1" ]; then
 	trap 'rm -f "$OUT"' EXIT
 fi
 
-go test -run '^$' -bench '^BenchmarkEngine(Flood|Observed)$' -benchmem \
+go test -run '^$' -bench '^BenchmarkEngine(Flood|Observed|Faulty)$' -benchmem \
 	-benchtime "${BENCH_TIME:-5x}" -count "$COUNT" . |
 	tee /dev/stderr |
 	go run ./scripts/benchjson >"$OUT"

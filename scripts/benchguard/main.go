@@ -33,6 +33,7 @@ type run struct {
 type doc struct {
 	Current  run  `json:"current"`
 	Observed *run `json:"observed"`
+	Faulty   *run `json:"faulty"`
 }
 
 func main() {
@@ -88,6 +89,12 @@ func guard(args []string) error {
 		fmt.Printf("observer on: %.0f ns/op vs %.0f off (%+.1f%%, informational)\n",
 			freshObs.NsPerOp, fresh.NsPerOp, (freshObs.NsPerOp/fresh.NsPerOp-1)*100)
 	}
+	// The fault-injected twin is informational too: its workload differs
+	// (drops prune the flood), so only the nil-fault path gates.
+	if freshFaulty, err := loadFaulty(args[1]); err == nil && freshFaulty != nil && fresh.NsPerOp > 0 {
+		fmt.Printf("faults on:   %.0f ns/op vs %.0f off (%+.1f%%, informational; smaller workload)\n",
+			freshFaulty.NsPerOp, fresh.NsPerOp, (freshFaulty.NsPerOp/fresh.NsPerOp-1)*100)
+	}
 	fmt.Println("benchguard: allocation contract holds")
 	return nil
 }
@@ -105,6 +112,22 @@ func load(path string) (run, error) {
 }
 
 func loadObserved(path string) (*run, error) {
+	d, err := loadDoc(path)
+	if err != nil {
+		return nil, err
+	}
+	return d.Observed, nil
+}
+
+func loadFaulty(path string) (*run, error) {
+	d, err := loadDoc(path)
+	if err != nil {
+		return nil, err
+	}
+	return d.Faulty, nil
+}
+
+func loadDoc(path string) (*doc, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -113,5 +136,5 @@ func loadObserved(path string) (*run, error) {
 	if err := json.Unmarshal(data, &d); err != nil {
 		return nil, err
 	}
-	return d.Observed, nil
+	return &d, nil
 }

@@ -1,11 +1,12 @@
 // Command benchjson converts `go test -bench` output for the engine
 // benchmarks into BENCH_sim.json. It reads the benchmark output on
-// stdin, averages the BenchmarkEngineFlood (nil observer) and
-// BenchmarkEngineObserved (metrics observer attached) lines, and emits
+// stdin, averages the BenchmarkEngineFlood (nil observer),
+// BenchmarkEngineObserved (metrics observer attached) and
+// BenchmarkEngineFaulty (fault plan active) lines, and emits
 // a JSON document holding the frozen pre-optimization baseline (the
 // container/heap + map engine, measured on the same workload before
 // the rewrite), the current numbers, the improvement ratios, and the
-// measured observer overhead.
+// measured observer and fault-injection overheads.
 //
 // Usage:
 //
@@ -44,7 +45,7 @@ var baseline = run{
 }
 
 func main() {
-	flood, observed, n, err := parse(os.Stdin)
+	flood, observed, faulty, n, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -68,6 +69,12 @@ func main() {
 			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", observed.AllocsPerOp),
 		}
 	}
+	if faulty != nil {
+		doc["faulty"] = faulty
+		doc["fault_overhead"] = map[string]string{
+			"ns_per_op": fmt.Sprintf("%+.1f%% (informational; workload shrinks as drops prune the flood)", (faulty.NsPerOp/flood.NsPerOp-1)*100),
+		}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -76,14 +83,14 @@ func main() {
 	}
 }
 
-// parse averages every BenchmarkEngineFlood and BenchmarkEngineObserved
-// line in r. A line looks like:
+// parse averages every BenchmarkEngineFlood, BenchmarkEngineObserved
+// and BenchmarkEngineFaulty line in r. A line looks like:
 //
 //	BenchmarkEngineFlood  5  35424437 ns/op  75001 events/op  2117225 events/sec  11421680 B/op  5049 allocs/op
-func parse(r io.Reader) (flood *run, observed *run, n int, err error) {
+func parse(r io.Reader) (flood, observed, faulty *run, n int, err error) {
 	flood = &run{Engine: "shared 4-ary heap + dense accounting (this tree)"}
-	var obs run
-	obsN := 0
+	var obs, flt run
+	obsN, fltN := 0, 0
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
@@ -94,7 +101,7 @@ func parse(r io.Reader) (flood *run, observed *run, n int, err error) {
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, nil, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
+				return nil, nil, nil, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
 			}
 			vals[f[i+1]] = v
 		}
@@ -111,13 +118,19 @@ func parse(r io.Reader) (flood *run, observed *run, n int, err error) {
 			obs.AllocsPerOp += vals["allocs/op"]
 			obs.BytesPerOp += vals["B/op"]
 			obsN++
+		case strings.HasPrefix(f[0], "BenchmarkEngineFaulty"):
+			flt.NsPerOp += vals["ns/op"]
+			flt.EventsPerSec += vals["events/sec"]
+			flt.AllocsPerOp += vals["allocs/op"]
+			flt.BytesPerOp += vals["B/op"]
+			fltN++
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	if n == 0 {
-		return nil, nil, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
+		return nil, nil, nil, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
 	}
 	flood.NsPerOp /= float64(n)
 	flood.EventsPerSec /= float64(n)
@@ -131,5 +144,13 @@ func parse(r io.Reader) (flood *run, observed *run, n int, err error) {
 		obs.BytesPerOp /= float64(obsN)
 		observed = &obs
 	}
-	return flood, observed, n, nil
+	if fltN > 0 {
+		flt.Engine = "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"
+		flt.NsPerOp /= float64(fltN)
+		flt.EventsPerSec /= float64(fltN)
+		flt.AllocsPerOp /= float64(fltN)
+		flt.BytesPerOp /= float64(fltN)
+		faulty = &flt
+	}
+	return flood, observed, faulty, n, nil
 }
