@@ -24,6 +24,7 @@ type instruments struct {
 	metricsPath string // -metrics: per-edge/per-class metrics JSON output file
 	progress    bool   // -progress: per-sweep progress lines on stderr
 	httpAddr    string // -http: expvar + pprof debug server address
+	shards      int    // -shards: run simulations on the sharded engine
 	multi       bool   // running several experiments: tag output files by id
 
 	expID   string
@@ -56,8 +57,15 @@ func (in *instruments) begin(expID string) {
 // closures — first-wins under parallel scheduling would record
 // whichever trial a worker reached first.
 func instrOpts(g *costsense.Graph) []costsense.Option {
+	var opts []costsense.Option
+	if instr.shards > 1 {
+		// The sharded engine is byte-identical to the serial one, so
+		// every table and artifact is unchanged; only wall-clock (on a
+		// multi-core host) moves.
+		opts = append(opts, costsense.WithShards(instr.shards))
+	}
 	if !instr.armed {
-		return nil
+		return opts
 	}
 	instr.armed = false
 	obs := make([]costsense.Observer, 0, 2)
@@ -69,7 +77,7 @@ func instrOpts(g *costsense.Graph) []costsense.Option {
 		instr.trace = costsense.NewTraceObserver(g)
 		obs = append(obs, instr.trace)
 	}
-	return []costsense.Option{costsense.WithObserver(costsense.NewTeeObserver(obs...))}
+	return append(opts, costsense.WithObserver(costsense.NewTeeObserver(obs...)))
 }
 
 // flush writes the experiment's recorded artifacts to the -trace and

@@ -105,6 +105,7 @@ var (
 	Caterpillar       = graph.Caterpillar
 	RandomConnected   = graph.RandomConnected
 	RandomRegular     = graph.RandomRegular
+	BigFlood          = graph.BigFlood
 	BinaryTree        = graph.BinaryTree
 	HardConnectivity  = graph.HardConnectivity
 	HeavyChordRing    = graph.HeavyChordRing
@@ -112,6 +113,7 @@ var (
 	UnitWeights       = graph.UnitWeights
 	ConstWeights      = graph.ConstWeights
 	UniformWeights    = graph.UniformWeights
+	UniformWeightsIn  = graph.UniformWeightsIn
 	PowerOfTwoWeights = graph.PowerOfTwoWeights
 )
 
@@ -182,6 +184,12 @@ var (
 	// the link model behind the congestion factors in the paper's time
 	// bounds.
 	WithCongestion = sim.WithCongestion
+	// WithShards runs the deterministic sharded engine on k worker
+	// goroutines; results are byte-identical to the serial engine.
+	WithShards = sim.WithShards
+	// WithShardAssignment pins an explicit vertex -> shard map instead
+	// of the built-in cluster partitioner.
+	WithShardAssignment = sim.WithShardAssignment
 )
 
 // Observability (internal/obs). Observers are optional: a Network

@@ -2,7 +2,7 @@ package analysis
 
 // All returns the costsense-vet analyzer suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Detmap, Detsource, Hotpathalloc, Arenaref}
+	return []*Analyzer{Detmap, Detsource, Hotpathalloc, Arenaref, Shardsync}
 }
 
 // Check runs every applicable analyzer over the packages and returns

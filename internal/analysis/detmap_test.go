@@ -48,3 +48,7 @@ func TestScope(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsync(t *testing.T) {
+	analysistest.Run(t, analysis.Shardsync, "shardsync")
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shardsync guards the sharded engine's ownership discipline: between
+// barriers, a worker may touch only its own shard's state, so any
+// expression that reaches into the engine's shard table — a selector
+// on a field of type []*shard, the gateway to every other worker's
+// queue, arena and mailboxes — is a data race unless the enclosing
+// function runs only while the other workers are provably quiescent.
+// Such functions declare it with `//costsense:shardbarrier <why>` in
+// their doc comment (the drain-phase mailbox sweep, the post-run
+// probe replay, the coordinator itself); everywhere else the access
+// is flagged.
+//
+// The race detector finds such bugs only on the schedules a test
+// happens to execute; this analyzer rejects the construct at vet
+// time, on all schedules. Individual lines inside an unannotated
+// function can be audited with `//costsense:shard-ok <why>`.
+var Shardsync = &Analyzer{
+	Name:     "shardsync",
+	Doc:      "flags cross-shard state access outside //costsense:shardbarrier functions",
+	Suppress: "shard-ok",
+	Scoped:   true,
+	Run:      runShardsync,
+}
+
+// ShardBarrierDirective marks a function as running only while all
+// shard workers are quiescent.
+const ShardBarrierDirective = Directive + "shardbarrier"
+
+func runShardsync(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isShardBarrier(fd) {
+				continue
+			}
+			checkShardsyncBody(pass, fd)
+		}
+	}
+}
+
+// isShardBarrier reports whether the function's doc comment carries
+// the //costsense:shardbarrier annotation.
+func isShardBarrier(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, ShardBarrierDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkShardsyncBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(sel.Sel)
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() || !isShardSlice(v.Type()) {
+			return true
+		}
+		pass.Report(sel.Pos(), "access to shard table %s outside a %s function races with the workers (annotate the function, or audit the line with %sshard-ok <why>)",
+			exprString(sel), ShardBarrierDirective, Directive)
+		return true
+	})
+}
+
+// isShardSlice matches []*shard for a struct type named "shard" — the
+// sharded engine's worker-state table. Matching on the shape keeps the
+// analyzer free of an import cycle on internal/sim while staying
+// precise: no other scoped package declares that type.
+func isShardSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	ptr, ok := sl.Elem().Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != "shard" {
+		return false
+	}
+	_, ok = named.Underlying().(*types.Struct)
+	return ok
+}

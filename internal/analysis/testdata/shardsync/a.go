@@ -1,0 +1,74 @@
+// Package shardsynctest exercises the shardsync analyzer: selectors on
+// a []*shard field are cross-shard state access, legal only inside
+// //costsense:shardbarrier functions (or on lines audited with
+// //costsense:shard-ok <why>).
+package shardsynctest
+
+// shard mimics the engine's worker state.
+type shard struct {
+	id  int
+	eng *engine
+	out [][]int
+}
+
+// engine mimics parEngine: shards is the guarded table.
+type engine struct {
+	shards []*shard
+	other  []*int // a different slice type: never flagged
+}
+
+// process is a worker-phase function: touching the table races.
+func (s *shard) process() int {
+	total := 0
+	for _, o := range s.eng.shards { // want "access to shard table s.eng.shards"
+		total += o.id
+	}
+	return total
+}
+
+// peek indexes the table directly.
+func peek(e *engine) int {
+	return e.shards[0].id // want "access to shard table e.shards"
+}
+
+// sizeOnly still reaches the table: len is an access too.
+func sizeOnly(e *engine) int {
+	return len(e.shards) // want "access to shard table e.shards"
+}
+
+// drain is a barrier function: the same access is legal.
+//
+//costsense:shardbarrier workers are quiescent during the drain phase
+func (s *shard) drain() {
+	for _, o := range s.eng.shards {
+		o.out[s.id] = o.out[s.id][:0]
+	}
+}
+
+// audited shows the line-level escape hatch.
+func audited(e *engine) int {
+	//costsense:shard-ok read-only fan-in after the run for this test
+	return e.shards[0].id
+}
+
+// bare suppressions still need a justification.
+func bare(e *engine) int {
+	//costsense:shard-ok
+	return e.shards[0].id // want "directive needs a justification"
+}
+
+// localShards is not a field selector: a plain local slice of shards
+// is whatever its owner says it is, and only the engine table is
+// guarded.
+func localShards(ss []*shard) int {
+	total := 0
+	for _, s := range ss {
+		total += s.id
+	}
+	return total
+}
+
+// otherField has the wrong element type and stays quiet.
+func otherField(e *engine) int {
+	return len(e.other)
+}

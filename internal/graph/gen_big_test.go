@@ -1,0 +1,53 @@
+package graph
+
+import "testing"
+
+// TestBigFloodShape checks the generator's contract at test-friendly
+// sizes: exact vertex and edge counts, connectivity, the locality
+// window, the weight band, no duplicate edges, and determinism.
+func TestBigFloodShape(t *testing.T) {
+	cases := []struct {
+		n, m, window int
+		lo, hi       int64
+		seed         int64
+	}{
+		{n: 100, m: 400, window: 16, lo: 8, hi: 64, seed: 1},
+		{n: 1000, m: 5000, window: 64, lo: 1024, hi: 2048, seed: 2},
+		{n: 50, m: 49, window: 4, lo: 1, hi: 1, seed: 3},
+		{n: 2000, m: 20000, window: 128, lo: 100, hi: 100, seed: 4},
+	}
+	for _, c := range cases {
+		g := BigFlood(c.n, c.m, c.window, UniformWeightsIn(c.lo, c.hi, c.seed), c.seed)
+		if g.N() != c.n || g.M() != c.m {
+			t.Fatalf("n=%d m=%d: got %d vertices, %d edges", c.n, c.m, g.N(), g.M())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d m=%d seed=%d: not connected", c.n, c.m, c.seed)
+		}
+		seen := make(map[[2]NodeID]bool, c.m)
+		for _, e := range g.Edges() {
+			u, v := e.U, e.V
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]NodeID{u, v}] {
+				t.Fatalf("duplicate edge (%d,%d)", u, v)
+			}
+			seen[[2]NodeID{u, v}] = true
+			if int(v-u) > c.window {
+				t.Fatalf("edge (%d,%d) spans %d > window %d", u, v, v-u, c.window)
+			}
+			if e.W < c.lo || e.W > c.hi {
+				t.Fatalf("edge (%d,%d) weight %d outside [%d,%d]", u, v, e.W, c.lo, c.hi)
+			}
+		}
+	}
+
+	a := BigFlood(500, 2500, 32, UniformWeightsIn(16, 64, 7), 7)
+	b := BigFlood(500, 2500, 32, UniformWeightsIn(16, 64, 7), 7)
+	for i, e := range a.Edges() {
+		if e != b.Edge(EdgeID(i)) {
+			t.Fatalf("edge %d differs across identical builds: %+v vs %+v", i, e, b.Edge(EdgeID(i)))
+		}
+	}
+}

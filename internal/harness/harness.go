@@ -35,6 +35,22 @@ func RunIndexed[T any](n int, fn func(int) (T, error)) ([]T, error) {
 	return RunIndexedObserved(n, fn, nil)
 }
 
+// workerCount sizes the pool: min(procs, n), clamped to at least one
+// worker. The clamp matters when the reported parallelism is zero or
+// negative (an environment override, or a future runtime that forwards
+// a caller's bogus setting) — without it the pool would start no
+// workers and wg.Wait would block forever.
+func workerCount(procs, n int) int {
+	w := procs
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // RunIndexedObserved is RunIndexed with an optional progress sink; a
 // nil sink adds no overhead. The sink observes scheduling (completion
 // order, wall time); the returned results are identical to RunIndexed.
@@ -43,10 +59,7 @@ func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, 
 		return nil, nil
 	}
 	//costsense:nondet-ok sizes the worker pool only; results and errors are reported in index order
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	workers := workerCount(runtime.GOMAXPROCS(0), n)
 	out := make([]T, n)
 	errs := make([]error, n)
 	var next, done atomic.Int64

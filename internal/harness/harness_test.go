@@ -175,3 +175,24 @@ func TestRunIndexedObservedNilSink(t *testing.T) {
 		t.Fatalf("nil sink run = (%v, %v)", got, err)
 	}
 }
+
+// TestWorkerCountClamp pins the pool-sizing rule: min(procs, n), never
+// below one worker — a zero or negative parallelism report must not
+// produce an empty pool that deadlocks RunIndexed.
+func TestWorkerCountClamp(t *testing.T) {
+	cases := []struct {
+		procs, n, want int
+	}{
+		{procs: 8, n: 3, want: 3},
+		{procs: 2, n: 100, want: 2},
+		{procs: 1, n: 1, want: 1},
+		{procs: 0, n: 5, want: 1},
+		{procs: -4, n: 5, want: 1},
+		{procs: 0, n: 1, want: 1},
+	}
+	for _, c := range cases {
+		if got := workerCount(c.procs, c.n); got != c.want {
+			t.Errorf("workerCount(%d, %d) = %d, want %d", c.procs, c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"costsense/internal/graph"
+	"costsense/internal/reliable"
+	"costsense/internal/sim"
+)
+
+// exportTriple runs one observed case and returns its three export
+// artifacts (metrics JSON, edge CSV, Chrome trace JSON) as byte
+// slices.
+func exportTriple(t *testing.T, c obsCase, extra ...sim.Option) (metrics, csv, trace []byte) {
+	t.Helper()
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	m := NewMetrics(g)
+	tr := NewTrace(g)
+	opts := append([]sim.Option{sim.WithObserver(NewTee(m, tr))}, extra...)
+	runCase(t, c, opts...)
+	var mb, cb, tb bytes.Buffer
+	if err := m.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteEdgeCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Export(&tb); err != nil {
+		t.Fatal(err)
+	}
+	return mb.Bytes(), cb.Bytes(), tb.Bytes()
+}
+
+// TestShardedExportsByteIdentical is the export-level half of the
+// sharded engine's byte-identity contract (the Stats and callback-log
+// halves live in internal/sim): for every delay model, plain and
+// congested, with and without a chaos plan, a WithShards run must
+// export metrics JSON, edge CSV, and Chrome trace JSON that are
+// byte-for-byte the serial run's artifacts — not merely equivalent,
+// identical, because the observer replay hands the same events with
+// the same dense sequence numbers to the same observer code.
+func TestShardedExportsByteIdentical(t *testing.T) {
+	for _, c := range obsCases() {
+		for _, faulty := range []bool{false, true} {
+			for _, shards := range []int{2, 4} {
+				c, faulty, shards := c, faulty, shards
+				name := fmt.Sprintf("%s/shards=%d", c.name, shards)
+				if faulty {
+					name += "/faulty"
+				}
+				t.Run(name, func(t *testing.T) {
+					var common []sim.Option
+					if faulty {
+						g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+						opt, _ := reliable.Install(reliable.Config{})
+						common = []sim.Option{opt, sim.WithFaults(faultyPlan(g)), sim.WithEventLimit(5_000_000)}
+					}
+					sm, sc, st := exportTriple(t, c, common...)
+					pm, pc, pt := exportTriple(t, c, append(common, sim.WithShards(shards))...)
+					if !bytes.Equal(sm, pm) {
+						t.Error("sharded metrics JSON differs from serial")
+					}
+					if !bytes.Equal(sc, pc) {
+						t.Error("sharded edge CSV differs from serial")
+					}
+					if !bytes.Equal(st, pt) {
+						t.Error("sharded trace JSON differs from serial")
+					}
+				})
+			}
+		}
+	}
+}

@@ -12,8 +12,9 @@ import (
 // This file is the deterministic fault-injection subsystem. The paper's
 // only adversary is edge delay varying in (0, w(e)]; WithFaults extends
 // the adversary with message loss, duplication, transient link outages
-// and fail-stop node crashes, all driven by the network's own seeded
-// RNG so a (seed, plan) pair replays byte-identically. The fault checks
+// and fail-stop node crashes, all driven by the sender's per-node
+// seeded RNG stream so a (seed, plan) pair replays byte-identically —
+// on the serial engine and the sharded one alike. The fault checks
 // live inside the allocation-free hot path: scalar state in halfEdge
 // (fdown) and event (flags), dense per-node / per-edge arrays, and a
 // sorted activation timeline walked by cursor. A network built without
@@ -67,8 +68,9 @@ type Crash struct {
 
 // FaultPlan describes the fault adversary for one run. The zero value
 // injects nothing. Drop and Dup are per-transmission probabilities in
-// [0, 1); drawing uses the network RNG (the same one WithSeed seeds),
-// so runs stay reproducible: same graph + seed + plan = same faults.
+// [0, 1); drawing uses the sending node's own stream (split from the
+// WithSeed seed), so runs stay reproducible: same graph + seed + plan
+// = same faults, independent of global event interleaving.
 type FaultPlan struct {
 	Drop    float64 // P(message lost at send), uniform across edges
 	Dup     float64 // P(message duplicated at send); the copy is delivered after the original
@@ -82,8 +84,8 @@ func (p FaultPlan) Empty() bool {
 }
 
 // WithFaults installs a fault plan on the network. Faults draw from the
-// network's seeded RNG; a run with the same seed, delay model and plan
-// replays bit-identically. Invalid plans (probabilities outside [0, 1),
+// sender's per-node seeded stream; a run with the same seed, delay
+// model and plan replays bit-identically. Invalid plans (probabilities outside [0, 1),
 // unknown nodes or edges) panic at construction — a bad plan is a
 // harness bug, not a runtime condition.
 func WithFaults(p FaultPlan) Option {
@@ -119,7 +121,12 @@ type faultState struct {
 	crashAt []int64      // node -> fail-stop time (math.MaxInt64 = never)
 	downs   []downWindow // all edges' windows, flat, grouped by edge
 	downIdx []int32      // edge -> first window; windows of e are downs[downIdx[e]:downIdx[e+1]]
-	downCur []int32      // edge -> cursor into its windows (time is monotone)
+	// downCur is the window cursor, one per *directed* edge (indexed by
+	// halfEdge.did): each direction's sends happen in that sender's own
+	// monotone time order, so a per-direction cursor only moves forward
+	// — and, because a directed edge has exactly one owning sender, the
+	// sharded engine's workers never share a cursor.
+	downCur []int32
 	acts    []activation // observer timeline, sorted by (at, kind, id)
 	actCur  int
 }
@@ -172,8 +179,11 @@ func (n *Network) installFaults(p FaultPlan) {
 		}
 	}
 	f.downIdx[m] = int32(len(f.downs))
-	f.downCur = make([]int32, m)
-	copy(f.downCur, f.downIdx[:m])
+	f.downCur = make([]int32, 2*m)
+	for e := 0; e < m; e++ {
+		f.downCur[2*e] = f.downIdx[e]
+		f.downCur[2*e+1] = f.downIdx[e]
+	}
 
 	// Mark half-edges whose edge has outage windows, so the hot path
 	// skips the window scan entirely for the (typical) clean edges.
@@ -215,18 +225,19 @@ func (n *Network) installFaults(p FaultPlan) {
 	n.faults = f
 }
 
-// linkDown reports whether edge e is inside an outage window at time
-// now. The per-edge cursor only moves forward: simulated time is
-// monotone, so the amortized cost over a run is O(windows of e).
+// linkDown reports whether h's edge is inside an outage window at time
+// now. The per-directed-edge cursor only moves forward: the sender's
+// simulated time is monotone, so the amortized cost over a run is
+// O(windows of e) per direction.
 //
 //costsense:hotpath
-func (f *faultState) linkDown(e graph.EdgeID, now int64) bool {
-	end := f.downIdx[int(e)+1]
-	cur := f.downCur[e]
+func (f *faultState) linkDown(h *halfEdge, now int64) bool {
+	end := f.downIdx[int(h.eid)+1]
+	cur := f.downCur[h.did]
 	for cur < end && f.downs[cur].until <= now {
 		cur++
 	}
-	f.downCur[e] = cur
+	f.downCur[h.did] = cur
 	return cur < end && f.downs[cur].from <= now
 }
 
@@ -238,7 +249,7 @@ func (f *faultState) linkDown(e graph.EdgeID, now int64) bool {
 //
 //costsense:hotpath
 func (f *faultState) dropSend(h *halfEdge, now int64, rng *rand.Rand) DropReason {
-	if h.fdown != 0 && f.linkDown(h.eid, now) {
+	if h.fdown != 0 && f.linkDown(h, now) {
 		return DropLinkDown
 	}
 	if f.drop > 0 && rng.Float64() < f.drop {

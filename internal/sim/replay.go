@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"costsense/internal/graph"
+)
+
+// This file restores the serial engine's exact observable side effects
+// after a sharded run: trace points in Record order, and — when an
+// observer is installed — the full probe sequence (OnSend, OnDeliver,
+// OnDrop, OnCrash, OnLinkDown, OnRecord) with the same dense global
+// sequence numbers the serial engine hands out.
+//
+// During the run each shard buffers its callbacks as probeRecs, tagged
+// with the serial-order key of the batch that produced them: the
+// (at, from, seq) of the event being processed, or (0, v, 0) for
+// vertex v's Init. Real events have at >= 1 and seq >= 1, so init
+// batches sort first, in vertex order — the serial Init loop. Within a
+// batch the shard's intra counter preserves callback order. Sorting
+// all shards' buffers by (key, intra) therefore reproduces the serial
+// callback sequence exactly, because the serial engine processes
+// events in the same (at, from, seq) total order and the key is a pure
+// function of the sender's local execution.
+
+// probeKey identifies one serial-order batch of callbacks.
+type probeKey struct {
+	at   int64
+	seq  int64
+	from int32
+}
+
+// Probe kinds.
+const (
+	probeSend uint8 = iota
+	probeDrop
+	probeDeliver
+	probeRecord
+)
+
+// probeRec is one buffered callback. tfrom/tseq identify the
+// transmission (the sender and its push counter at scheduling time) so
+// the replay can assign dense global sequence numbers on OnSend and
+// look them up for the matching OnDeliver/OnDrop. Record entries are
+// buffered even without an observer: they carry the run's trace
+// points.
+type probeRec struct {
+	key    probeKey
+	intra  int32
+	kind   uint8
+	tfrom  int32
+	tseq   int64
+	at     int64 // probe time
+	arrive int64 // send: scheduled arrival
+	delay  int64 // send: drawn transit delay
+	w      int64
+	from   graph.NodeID
+	to     graph.NodeID
+	edge   graph.EdgeID
+	class  Class
+	reason DropReason
+	dup    bool
+	m      Message
+	rkey   string // record: trace key
+	rval   int64  // record: trace value
+}
+
+// replay merges the shards' probe buffers and re-emits them in serial
+// order: trace points into Network.traces, observer callbacks (if any)
+// with serial numbering, and fault activations interleaved exactly
+// where the serial engine's timeline cursor would have fired them —
+// before the first probes of the first event batch at or after each
+// activation time, with a final end-of-run flush.
+//
+//costsense:shardbarrier post-run: all workers have stopped
+func (eng *parEngine) replay() {
+	n := eng.net
+	total := 0
+	for _, s := range eng.shards {
+		total += len(s.probes)
+	}
+	recs := make([]probeRec, 0, total)
+	for _, s := range eng.shards {
+		recs = append(recs, s.probes...)
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.key.at != b.key.at {
+			return a.key.at < b.key.at
+		}
+		if a.key.from != b.key.from {
+			return a.key.from < b.key.from
+		}
+		if a.key.seq != b.key.seq {
+			return a.key.seq < b.key.seq
+		}
+		return a.intra < b.intra
+	})
+
+	var acts []activation
+	if n.faults != nil {
+		acts = n.faults.acts
+	}
+	actCur := 0
+	flushActs := func(now int64) {
+		for actCur < len(acts) && acts[actCur].at <= now {
+			a := acts[actCur]
+			actCur++
+			if n.obs == nil {
+				continue
+			}
+			if a.kind == actCrash {
+				n.obs.OnCrash(a.node, a.at)
+			} else {
+				n.obs.OnLinkDown(a.edge, a.at, a.until)
+			}
+		}
+	}
+
+	var seqOf map[[2]int64]int64
+	if n.obs != nil {
+		seqOf = make(map[[2]int64]int64, total)
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.key.seq > 0 {
+			// An event batch: the serial loop fires pending fault
+			// activations before the event's own probes. Init batches
+			// (seq 0) precede any activation check, as in serial.
+			flushActs(r.key.at)
+		}
+		switch r.kind {
+		case probeRecord:
+			n.traces[r.rkey] = append(n.traces[r.rkey], TracePoint{Node: r.from, Time: r.at, Value: r.rval})
+			if n.obs != nil {
+				n.obs.OnRecord(r.from, r.at, r.rkey, r.rval)
+			}
+		case probeSend:
+			n.sendSeq++
+			seqOf[[2]int64{int64(r.tfrom), r.tseq}] = n.sendSeq
+			n.obs.OnSend(SendEvent{
+				Time: r.at, Arrive: r.arrive, Delay: r.delay, Seq: n.sendSeq, W: r.w,
+				From: r.from, To: r.to, Edge: r.edge, Class: r.class, Dup: r.dup,
+			}, r.m)
+		case probeDeliver:
+			n.obs.OnDeliver(DeliverEvent{
+				Time: r.at, Seq: seqOf[[2]int64{int64(r.tfrom), r.tseq}], W: r.w,
+				From: r.from, To: r.to, Edge: r.edge, Dup: r.dup,
+			}, r.m)
+		case probeDrop:
+			n.obs.OnDrop(DropEvent{
+				Time: r.at, Seq: seqOf[[2]int64{int64(r.tfrom), r.tseq}], W: r.w,
+				From: r.from, To: r.to, Edge: r.edge, Class: r.class, Reason: r.reason,
+			}, r.m)
+		}
+	}
+	flushActs(math.MaxInt64)
+}

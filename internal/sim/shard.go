@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"costsense/internal/cover"
+	"costsense/internal/graph"
+)
+
+// This file computes the static shard plan of the parallel engine
+// (engine_parallel.go): which vertices run on which shard, and the
+// minimum simulated time any causal chain needs to cross from one
+// shard to another — the quantity the conservative lookahead windows
+// are derived from. Everything here runs once, before the workers
+// start; nothing in this file is on the per-event path.
+
+// shardInf is the "no bound" distance/horizon. It is far below
+// MaxInt64 so that nextT + dist never overflows.
+const shardInf = math.MaxInt64 / 4
+
+// shardPlan is the static partition the sharded engine runs on.
+type shardPlan struct {
+	k       int       // number of shards
+	shardOf []int32   // vertex -> shard
+	nodes   [][]int32 // shard -> its vertices, ascending
+	// dist[s][t] is the all-pairs shortest path over the shard graph
+	// whose s-t arc weight is the smallest guaranteed message delay
+	// (minDelayOf) over any cut edge between s and t. It bounds causal
+	// influence: while shard s has processed nothing at or after time
+	// T, no chain of messages leaving s — even one relayed through
+	// other shards — can make anything happen in shard t before
+	// T + dist[s][t]. The multi-hop closure matters: a direct s-t cut
+	// edge may be heavy while a two-hop relay through an idle shard is
+	// cheap, and the horizon must respect the cheaper path.
+	dist [][]int64
+	// rt[t] is the cheapest round trip leaving shard t and coming
+	// back: min over s != t of dist[t][s] + dist[s][t]. It bounds the
+	// echo hazard the per-source terms miss: shard t's own unprocessed
+	// event at nextT_t can mail another shard — even one that is idle
+	// right now and so contributes no nextT_s term — and the reply
+	// cannot re-enter t before nextT_t + rt[t]. Without this term an
+	// idle neighbor shard would leave t's horizon unbounded, t would
+	// burn through its whole queue in one window, and the neighbor's
+	// reply would arrive in t's past.
+	rt []int64
+}
+
+// buildShardPlan resolves the WithShards/WithShardAssignment options
+// into a concrete plan for this network.
+func (n *Network) buildShardPlan() (*shardPlan, error) {
+	nv := n.g.N()
+	p := &shardPlan{}
+	if n.shardOf != nil {
+		if len(n.shardOf) != nv {
+			return nil, fmt.Errorf("sim: WithShardAssignment: %d entries for %d vertices", len(n.shardOf), nv)
+		}
+		maxS := int32(0)
+		for v, s := range n.shardOf {
+			if s < 0 {
+				return nil, fmt.Errorf("sim: WithShardAssignment: vertex %d assigned negative shard %d", v, s)
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		p.k = int(maxS) + 1
+		p.shardOf = n.shardOf
+	} else {
+		k := n.shards
+		if k > nv {
+			k = nv
+		}
+		if k < 1 {
+			k = 1
+		}
+		p.k = k
+		p.shardOf = partitionShards(n.g, k)
+	}
+
+	p.nodes = make([][]int32, p.k)
+	for v := 0; v < nv; v++ {
+		s := p.shardOf[v]
+		p.nodes[s] = append(p.nodes[s], int32(v))
+	}
+	p.dist = n.shardDistances(p)
+	return p, nil
+}
+
+// partitionShards maps vertices to k shards. The primary partitioner
+// reuses the synchronizer-γ cluster primitive (internal/cover): grow
+// clusters with factor 2 — few cut edges, by the same argument that
+// bounds γ's preferred-edge count — then bin-pack whole clusters onto
+// shards largest-first (LPT). When the clustering cannot balance (one
+// giant cluster, or fewer clusters than shards), fall back to a
+// contiguous split of the vertex range, which is always perfectly
+// balanced but cuts more edges. Both paths are deterministic.
+func partitionShards(g *graph.Graph, k int) []int32 {
+	nv := g.N()
+	shardOf := make([]int32, nv)
+	if k <= 1 {
+		return shardOf
+	}
+
+	clusterOf, nc := cover.ClusterGrowth(g, 2)
+	if nc >= k {
+		// Cluster sizes, then LPT: biggest cluster first onto the
+		// least-loaded shard. Ties break on lower cluster index and
+		// lower shard index, keeping the packing deterministic.
+		size := make([]int, nc)
+		for _, c := range clusterOf {
+			size[c]++
+		}
+		order := make([]int, nc)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if size[a] != size[b] {
+				return size[a] > size[b]
+			}
+			return a < b
+		})
+		load := make([]int, k)
+		clusterShard := make([]int32, nc)
+		for _, c := range order {
+			min := 0
+			for s := 1; s < k; s++ {
+				if load[s] < load[min] {
+					min = s
+				}
+			}
+			clusterShard[c] = int32(min)
+			load[min] += size[c]
+		}
+		// Accept the packing only when it is reasonably balanced: the
+		// largest shard within 1.5x of the ideal share. Otherwise one
+		// hub cluster would serialize the run and the extra cut edges
+		// of the contiguous split are the lesser evil.
+		ceil := (nv + k - 1) / k
+		maxLoad := 0
+		for _, l := range load {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if 2*maxLoad <= 3*ceil {
+			for v := 0; v < nv; v++ {
+				shardOf[v] = clusterShard[clusterOf[v]]
+			}
+			return shardOf
+		}
+	}
+
+	// Contiguous fallback: vertex v -> shard v*k/nv. Shard sizes differ
+	// by at most one.
+	for v := 0; v < nv; v++ {
+		shardOf[v] = int32(int64(v) * int64(k) / int64(nv))
+	}
+	return shardOf
+}
+
+// shardDistances builds the lookahead distance matrix: direct arcs
+// from the cheapest guaranteed delay on each shard pair's cut edges,
+// closed under multi-hop relaying with Floyd–Warshall. O(M + k³);
+// k is the worker count, so the cube is trivial.
+func (n *Network) shardDistances(p *shardPlan) [][]int64 {
+	k := p.k
+	dist := make([][]int64, k)
+	for s := range dist {
+		dist[s] = make([]int64, k)
+		for t := range dist[s] {
+			if s != t {
+				dist[s][t] = shardInf
+			}
+		}
+	}
+	for _, e := range n.g.Edges() {
+		su, sv := p.shardOf[e.U], p.shardOf[e.V]
+		if su == sv {
+			continue
+		}
+		if d := n.minDelayOf(e); d < dist[su][sv] {
+			dist[su][sv] = d
+			dist[sv][su] = d
+		}
+	}
+	for mid := 0; mid < k; mid++ {
+		for s := 0; s < k; s++ {
+			dm := dist[s][mid]
+			if dm >= shardInf {
+				continue
+			}
+			for t := 0; t < k; t++ {
+				if via := dm + dist[mid][t]; via < dist[s][t] {
+					dist[s][t] = via
+				}
+			}
+		}
+	}
+	p.rt = make([]int64, k)
+	for t := 0; t < k; t++ {
+		r := int64(shardInf)
+		for s := 0; s < k; s++ {
+			if s == t || dist[t][s] >= shardInf || dist[s][t] >= shardInf {
+				continue
+			}
+			if c := dist[t][s] + dist[s][t]; c < r {
+				r = c
+			}
+		}
+		p.rt[t] = r
+	}
+	return dist
+}

@@ -116,6 +116,42 @@ func (DelayUniform) Delay(e graph.Edge, rng *rand.Rand) int64 {
 	return 1 + rng.Int63n(e.W)
 }
 
+// LookaheadModel is the optional lower-bound capability of a
+// DelayModel: MinDelay returns a value every Delay call for e is
+// guaranteed to be at least. The sharded engine uses it to widen the
+// conservative lookahead windows on cut edges — under DelayMax the
+// bound is the full edge weight, so shards synchronize only as often
+// as the lightest cut edge could actually carry a message. A model
+// without the capability is bounded by the universal minimum of 1
+// (the DelayModel contract is delay in [1, w(e)]).
+type LookaheadModel interface {
+	MinDelay(e graph.Edge) int64
+}
+
+// MinDelay returns w(e): the maximal adversary always takes the full
+// weight.
+func (DelayMax) MinDelay(e graph.Edge) int64 { return e.W }
+
+// MinDelay returns 1.
+func (DelayUnit) MinDelay(graph.Edge) int64 { return 1 }
+
+// MinDelay returns 1, the bottom of the uniform range.
+func (DelayUniform) MinDelay(graph.Edge) int64 { return 1 }
+
+// minDelayOf resolves the guaranteed delay lower bound of edge e under
+// the configured model, clamped to >= 1.
+func (n *Network) minDelayOf(e graph.Edge) int64 {
+	if n.delayIsMax {
+		return e.W
+	}
+	if lm, ok := n.delay.(LookaheadModel); ok {
+		if d := lm.MinDelay(e); d > 1 {
+			return d
+		}
+	}
+	return 1
+}
+
 // ClassStats aggregates the cost of one message class.
 type ClassStats struct {
 	Messages int64 // number of messages
@@ -208,6 +244,14 @@ type TracePoint struct {
 // by msgIdx) and endpoints are narrowed to int32, so sifting events
 // through the heap moves four plain words with no GC write barriers.
 // The fault/timer markers share the struct's existing padding byte.
+//
+// seq is the *sender's* per-node push counter (one per transmission
+// attempt, duplicate or timer that node originates), not a global
+// counter: the ordering key (at, from, seq) is then a pure function of
+// each node's own deterministic execution, independent of how events
+// from different nodes interleave globally. That independence is what
+// lets the sharded engine (engine_parallel.go) process disjoint node
+// sets concurrently and still replay the exact serial order.
 type event struct {
 	at     int64
 	seq    int64
@@ -223,14 +267,20 @@ const (
 	flagDup                     // fault-injected duplicate copy
 )
 
-// Less orders events by (time, send sequence): the unique sequence
-// number makes the order total, so runs are deterministic no matter how
-// the queue breaks ties internally.
+// Less orders events by (time, sender, sender's push sequence). The
+// (from, seq) pair is globally unique, so the order is total and runs
+// are deterministic no matter how the queue breaks ties internally —
+// and, because every component is computed locally by the sender, the
+// order is identical whether events are processed on one queue or
+// merged across shard queues.
 //
 //costsense:hotpath
 func (e event) Less(f event) bool {
 	if e.at != f.at {
 		return e.at < f.at
+	}
+	if e.from != f.from {
+		return e.from < f.from
 	}
 	return e.seq < f.seq
 }
@@ -243,10 +293,14 @@ func WithDelay(d DelayModel) Option {
 	return func(n *Network) { n.delay = d }
 }
 
-// WithSeed seeds the delay RNG (default 1). Runs are deterministic for
-// a fixed seed and delay model.
+// WithSeed seeds the delay and fault RNG streams (default 1). Runs are
+// deterministic for a fixed seed and delay model. Every node draws
+// from its own stream, split from the seed by a fixed mixing function
+// (nodeSeed), so a node's draws depend only on its own send sequence —
+// never on how events from different nodes interleave. Serial and
+// sharded runs therefore see identical draws.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.seed = seed }
 }
 
 // WithEventLimit bounds the number of deliveries before Run aborts with
@@ -264,6 +318,46 @@ func WithEventLimit(limit int64) Option {
 // message after its own delay regardless of load.
 func WithCongestion() Option {
 	return func(n *Network) { n.congested = true }
+}
+
+// WithShards runs the event loop on k concurrent shards (one worker
+// goroutine per shard), partitioned with the synchronizer-γ cluster
+// primitive (internal/cover) and synchronized by conservative
+// lookahead windows derived from the minimum possible delay on cut
+// edges. Results — Stats, traces, observer probes and their exports,
+// and every seeded-RNG draw — are byte-identical to the serial engine;
+// see DESIGN.md "Sharded engine & conservative lookahead" for the
+// argument. k <= 1 (the default) keeps the untouched serial hot path.
+//
+// Two serial/sharded divergences are documented rather than hidden:
+// an exhausted WithEventLimit budget still aborts the run with
+// *ErrEventLimit, but the exact event count and in-flight snapshot in
+// the error depend on where the shards were stopped; and with an
+// observer installed, probes are replayed in exact serial order after
+// the run rather than during it, so probe payloads reflect any
+// mutation the receiving Handle performed (the bundled internal/obs
+// observers read only the scalar probe structs and are unaffected).
+func WithShards(k int) Option {
+	return func(n *Network) { n.shards = k }
+}
+
+// WithShardAssignment pins the node -> shard map instead of computing
+// one: shardOf[v] is v's shard in [0, k) where k = max+1. Used by
+// tests and benchmarks to force degenerate or hand-built partitions
+// through the sharded engine; WithShards' automatic partitioner is the
+// normal path. The assignment is validated at Run: len(shardOf) must
+// equal the vertex count.
+func WithShardAssignment(shardOf []int32) Option {
+	return func(n *Network) {
+		n.shardOf = shardOf
+		k := int32(0)
+		for _, s := range shardOf {
+			if s > k {
+				k = s
+			}
+		}
+		n.shards = int(k) + 1
+	}
 }
 
 // WithProcessWrapper rewraps every process through wrap before the run
@@ -307,10 +401,9 @@ type Network struct {
 	g          *graph.Graph
 	procs      []Process
 	delay      DelayModel
-	rng        *rand.Rand
+	seed       int64 // RNG seed; per-node streams split from it (nodeSeed)
 	queue      pq.Heap[event]
 	now        int64
-	seq        int64   // heap tie-break: one per pushed event (sends, duplicates, timers)
 	sendSeq    int64   // probe sequence: one per OnSend-visible transmission, dense 1..S
 	lastArrive []int64 // directed-edge ID -> last scheduled arrival (FIFO) / busy-until (congested)
 	nbr        [][]halfEdge
@@ -329,6 +422,8 @@ type Network struct {
 	ctxs       []nodeCtx
 	obs        Observer    // nil unless WithObserver installed one
 	faults     *faultState // nil unless WithFaults installed a plan
+	shards     int         // >1: Run dispatches to the sharded engine (engine_parallel.go)
+	shardOf    []int32     // explicit shard assignment (WithShardAssignment), else computed
 }
 
 // NewNetwork creates a network running procs[v] at vertex v.
@@ -340,7 +435,7 @@ func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, erro
 		g:          g,
 		procs:      procs,
 		delay:      DelayMax{},
-		rng:        rand.New(rand.NewSource(1)),
+		seed:       1,
 		lastArrive: make([]int64, 2*g.M()),
 		traces:     make(map[string][]TracePoint),
 		eventLimit: 50_000_000,
@@ -462,10 +557,66 @@ func (n *Network) classID(c Class) int {
 	return n.internClass(c)
 }
 
-// nodeCtx implements Context for one vertex.
+// nodeSeed splits the network seed into vertex v's private stream seed
+// with one splitmix64-style finalizing round. The mixing function is
+// part of the determinism contract — golden tests pin run results
+// derived from these streams, so changing it invalidates every
+// recorded baseline (a deliberate, one-time re-pin, as when the
+// engine moved from one sequential stream to per-node streams).
+func nodeSeed(seed int64, v int32) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(uint32(v))+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// needNodeRNG reports whether any per-event code path of this
+// configuration can draw randomness: a delay model other than the
+// non-drawing DelayMax/DelayUnit, or a fault plan with probabilistic
+// drops or duplicates. When false, no stream is ever touched and
+// materializeRNGs leaves every per-node rng nil, so the default
+// configurations allocate no RNG state at all.
+func (n *Network) needNodeRNG() bool {
+	if n.faults != nil && (n.faults.drop > 0 || n.faults.dup > 0) {
+		return true
+	}
+	if n.delayIsMax {
+		return false
+	}
+	if _, ok := n.delay.(DelayUnit); ok {
+		return false
+	}
+	return true
+}
+
+// materializeRNGs builds the per-node RNG streams when the
+// configuration can draw randomness. Cold path: runs once per Run,
+// before any Init. The sharded engine performs the equivalent
+// materialization on its own per-node contexts.
+func (n *Network) materializeRNGs() {
+	if !n.needNodeRNG() {
+		return
+	}
+	for v := range n.ctxs {
+		n.ctxs[v].rng = rand.New(rand.NewSource(nodeSeed(n.seed, int32(v))))
+	}
+}
+
+// nodeCtx implements Context for one vertex. It also carries the
+// vertex's two pieces of engine-owned local state: the per-node push
+// sequence (the event tie-break) and the per-node RNG stream. Both
+// live here rather than on the Network so that the sharded engine can
+// hand each shard's worker exclusive ownership of its own nodes'
+// state, and so that a serial run allocates nothing extra (the ctxs
+// slice already exists).
 type nodeCtx struct {
 	net *Network
 	id  graph.NodeID
+	seq int64      // per-node push counter: transmissions (incl. dropped), duplicates, timers
+	rng *rand.Rand // per-node stream split from the network seed; nil when no draw can happen
 }
 
 var _ Context = (*nodeCtx)(nil)
@@ -511,9 +662,9 @@ func (c *nodeCtx) ScheduleTimer(delay int64, m Message) {
 		delay = 1
 	}
 	n := c.net
-	n.seq++
+	c.seq++
 	slot := n.allocSlot(m, 0)
-	n.queue.Push(event{at: n.now + delay, seq: n.seq, to: int32(c.id), from: int32(c.id), msgIdx: slot, flags: flagTimer})
+	n.queue.Push(event{at: n.now + delay, seq: c.seq, to: int32(c.id), from: int32(c.id), msgIdx: slot, flags: flagTimer})
 	n.stats.Timers++
 }
 
@@ -552,6 +703,7 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 		//costsense:alloc-ok cold path: a non-neighbor send is a protocol bug and panics immediately
 		panic(fmt.Sprintf("sim: node %d sent to non-neighbor %d", from, to))
 	}
+	nc := &n.ctxs[from]
 	w := h.w
 	n.stats.UsedEdges[h.eid] = true
 	n.stats.Messages++
@@ -561,9 +713,13 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 	n.classStats[ci].Comm += w
 
 	if n.faults != nil {
-		if reason := n.faults.dropSend(h, n.now, n.rng); reason != 0 {
+		if reason := n.faults.dropSend(h, n.now, nc.rng); reason != 0 {
 			// The transmission is paid for (the sender spent its w(e)
-			// on the wire) but never scheduled.
+			// on the wire) but never scheduled. It still consumes one
+			// per-node push sequence so the sender's stream of
+			// (seq, RNG) state is a pure function of its own sends,
+			// fault outcomes included.
+			nc.seq++
 			n.stats.Dropped++
 			n.sendSeq++
 			if n.obs != nil {
@@ -579,14 +735,14 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 			return
 		}
 	}
-	n.schedule(h, from, to, m, cl, 0)
-	if n.faults != nil && n.faults.dup > 0 && n.rng.Float64() < n.faults.dup {
+	n.schedule(h, nc, to, m, cl, 0)
+	if n.faults != nil && n.faults.dup > 0 && nc.rng.Float64() < n.faults.dup {
 		// Duplicate: a second, independent copy of the same payload.
 		// It draws its own delay but shares the FIFO floor, so it
 		// arrives at or after the original. The copy is not accounted
 		// — the adversary injected it, the protocol didn't pay for it.
 		n.stats.Duplicated++
-		n.schedule(h, from, to, m, cl, flagDup)
+		n.schedule(h, nc, to, m, cl, flagDup)
 	}
 }
 
@@ -595,12 +751,12 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 // arena and fire the OnSend probe.
 //
 //costsense:hotpath
-func (n *Network) schedule(h *halfEdge, from, to graph.NodeID, m Message, cl Class, flags uint8) {
+func (n *Network) schedule(h *halfEdge, nc *nodeCtx, to graph.NodeID, m Message, cl Class, flags uint8) {
 	var d int64
 	if n.delayIsMax {
 		d = h.w
 	} else {
-		d = n.delay.Delay(n.g.Edge(h.eid), n.rng)
+		d = n.delay.Delay(n.g.Edge(h.eid), nc.rng)
 	}
 	last := n.lastArrive[h.did]
 	var at int64
@@ -619,16 +775,16 @@ func (n *Network) schedule(h *halfEdge, from, to graph.NodeID, m Message, cl Cla
 		}
 	}
 	n.lastArrive[h.did] = at
-	n.seq++
+	nc.seq++
 	n.sendSeq++
 	slot := n.allocSlot(m, n.sendSeq)
-	n.queue.Push(event{at: at, seq: n.seq, to: int32(to), from: int32(from), msgIdx: slot, flags: flags})
+	n.queue.Push(event{at: at, seq: nc.seq, to: int32(to), from: int32(nc.id), msgIdx: slot, flags: flags})
 	if n.obs != nil {
 		// SendEvent is all scalars and passed by value: the probe adds
 		// one branch and no allocation to the unobserved path.
 		n.obs.OnSend(SendEvent{
 			Time: n.now, Arrive: at, Delay: d, Seq: n.sendSeq, W: h.w,
-			From: from, To: to, Edge: h.eid, Class: cl, Dup: flags&flagDup != 0,
+			From: nc.id, To: to, Edge: h.eid, Class: cl, Dup: flags&flagDup != 0,
 		}, m)
 	}
 }
@@ -661,6 +817,11 @@ func (n *Network) Run() (*Stats, error) {
 		return nil, fmt.Errorf("sim: Run called twice on the same Network")
 	}
 	n.ran = true
+	if n.shards > 1 && n.g.N() > 1 {
+		//costsense:alloc-ok cold path: the sharded engine allocates per-shard state up front, never per event
+		return n.runSharded()
+	}
+	n.materializeRNGs()
 	for v := range n.procs {
 		if n.faults != nil && n.faults.crashAt[v] <= 0 {
 			continue // fail-stop at t <= 0: the node never starts
@@ -724,24 +885,28 @@ func (n *Network) Run() (*Stats, error) {
 		n.faults.observeUpTo(n, math.MaxInt64)
 	}
 	n.stats.FinishTime = n.now
-	// Materialize the public per-class view from the dense counters.
-	// Only classes that carried traffic appear, matching the map the
-	// accounting used to maintain inline; a run that sent nothing
-	// keeps ByClass nil instead of allocating an empty map (lookups
-	// and accessors read nil maps fine).
-	if n.stats.Messages > 0 {
-		//costsense:alloc-ok one allocation per run, after the event loop has drained
-		n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
-		for i, cs := range n.classStats {
-			if cs.Messages > 0 {
-				n.stats.ByClass[n.classes[i]] = cs
-			}
-		}
-	}
+	n.materializeByClass()
 	if n.obs != nil {
 		n.obs.OnQuiesce(&n.stats)
 	}
 	return &n.stats, nil
+}
+
+// materializeByClass builds the public per-class view from the dense
+// counters. Only classes that carried traffic appear; a run that sent
+// nothing keeps ByClass nil instead of allocating an empty map
+// (lookups and accessors read nil maps fine). Shared by the serial
+// post-loop epilogue and the sharded engine's merge.
+func (n *Network) materializeByClass() {
+	if n.stats.Messages == 0 {
+		return
+	}
+	n.stats.ByClass = make(map[Class]ClassStats, len(n.classes))
+	for i, cs := range n.classStats {
+		if cs.Messages > 0 {
+			n.stats.ByClass[n.classes[i]] = cs
+		}
+	}
 }
 
 // Trace returns the recorded points for a key, in delivery order.

@@ -1,16 +1,30 @@
 // Command benchjson converts `go test -bench` output for the engine
 // benchmarks into BENCH_sim.json. It reads the benchmark output on
 // stdin, averages the BenchmarkEngineFlood (nil observer),
-// BenchmarkEngineObserved (metrics observer attached) and
-// BenchmarkEngineFaulty (fault plan active) lines, and emits
-// a JSON document holding the frozen pre-optimization baseline (the
-// container/heap + map engine, measured on the same workload before
-// the rewrite), the current numbers, the improvement ratios, and the
-// measured observer and fault-injection overheads.
+// BenchmarkEngineObserved (metrics observer attached),
+// BenchmarkEngineFaulty (fault plan active) and the sharded-engine
+// pair BenchmarkEngineShardedSerial / BenchmarkEngineSharded lines,
+// and emits a JSON document holding the frozen pre-optimization
+// baseline (the container/heap + map engine, measured on the same
+// workload before the rewrite), the current numbers, the improvement
+// ratios, and the measured observer / fault-injection / sharding
+// deltas.
 //
 // Usage:
 //
-//	go test -run xxx -bench 'BenchmarkEngine(Flood|Observed)' -benchmem -count 3 . | go run ./scripts/benchjson > BENCH_sim.json
+//	go test -run xxx -bench 'BenchmarkEngine...' -benchmem -count 3 . | go run ./scripts/benchjson > BENCH_sim.json
+//
+// Recompute mode re-derives every ratio block (improvement,
+// observer_overhead, fault_overhead, sharded_speedup) from the
+// measured fields already committed in an existing document, leaving
+// the measurements themselves untouched:
+//
+//	go run ./scripts/benchjson -recompute BENCH_sim.json > BENCH_sim.json.new
+//
+// CI pipes the committed file through recompute and diffs: a document
+// whose ratio strings do not match its own baseline/current numbers
+// (someone edited one without the other) fails the build instead of
+// advertising a stale speedup.
 package main
 
 import (
@@ -44,8 +58,43 @@ var baseline = run{
 	BytesPerOp:   26141496,
 }
 
+// derive computes every ratio block of the document from its measured
+// runs. It is the single source of derived numbers: both fresh
+// measurement and -recompute go through it, so the committed ratio
+// strings can never legitimately disagree with the committed fields.
+func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded *run) {
+	doc["improvement"] = map[string]string{
+		"events_per_sec": fmt.Sprintf("%.2fx", flood.EventsPerSec/base.EventsPerSec),
+		"allocs_per_op":  fmt.Sprintf("%.1fx fewer", base.AllocsPerOp/flood.AllocsPerOp),
+		"bytes_per_op":   fmt.Sprintf("%.1fx fewer", base.BytesPerOp/flood.BytesPerOp),
+	}
+	if observed != nil {
+		doc["observer_overhead"] = map[string]string{
+			"ns_per_op":     fmt.Sprintf("%+.1f%%", (observed.NsPerOp/flood.NsPerOp-1)*100),
+			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", observed.AllocsPerOp),
+		}
+	}
+	if faulty != nil {
+		doc["fault_overhead"] = map[string]string{
+			"ns_per_op": fmt.Sprintf("%+.1f%% (informational; workload shrinks as drops prune the flood)", (faulty.NsPerOp/flood.NsPerOp-1)*100),
+		}
+	}
+	if shSerial != nil && sharded != nil {
+		doc["sharded_speedup"] = map[string]string{
+			"events_per_sec": fmt.Sprintf("%.2fx vs serial on the same workload (scales with usable cores; see EXPERIMENTS.md)", sharded.EventsPerSec/shSerial.EventsPerSec),
+		}
+	}
+}
+
 func main() {
-	flood, observed, faulty, n, err := parse(os.Stdin)
+	if len(os.Args) >= 2 && os.Args[1] == "-recompute" {
+		if err := recompute(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	runs, n, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -55,26 +104,26 @@ func main() {
 		"workload":  "flooding on RandomConnected(5000, 40000, UniformWeights(64, 21), 21), DelayMax, 75001 events/op",
 		"samples":   n,
 		"baseline":  baseline,
-		"current":   flood,
-		"improvement": map[string]string{
-			"events_per_sec": fmt.Sprintf("%.2fx", flood.EventsPerSec/baseline.EventsPerSec),
-			"allocs_per_op":  fmt.Sprintf("%.1fx fewer", baseline.AllocsPerOp/flood.AllocsPerOp),
-			"bytes_per_op":   fmt.Sprintf("%.1fx fewer", baseline.BytesPerOp/flood.BytesPerOp),
-		},
+		"current":   runs.flood,
 	}
-	if observed != nil {
-		doc["observed"] = observed
-		doc["observer_overhead"] = map[string]string{
-			"ns_per_op":     fmt.Sprintf("%+.1f%%", (observed.NsPerOp/flood.NsPerOp-1)*100),
-			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", observed.AllocsPerOp),
-		}
+	if runs.observed != nil {
+		doc["observed"] = runs.observed
 	}
-	if faulty != nil {
-		doc["faulty"] = faulty
-		doc["fault_overhead"] = map[string]string{
-			"ns_per_op": fmt.Sprintf("%+.1f%% (informational; workload shrinks as drops prune the flood)", (faulty.NsPerOp/flood.NsPerOp-1)*100),
-		}
+	if runs.faulty != nil {
+		doc["faulty"] = runs.faulty
 	}
+	if runs.shSerial != nil {
+		doc["sharded_serial"] = runs.shSerial
+	}
+	if runs.sharded != nil {
+		doc["sharded"] = runs.sharded
+		doc["sharded_workload"] = "flooding on BigFlood(1_000_000 nodes, 10_000_000 edges), DelayMax, WithShards(4)"
+	}
+	derive(doc, &baseline, runs.flood, runs.observed, runs.faulty, runs.shSerial, runs.sharded)
+	emit(doc)
+}
+
+func emit(doc map[string]any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
@@ -83,15 +132,97 @@ func main() {
 	}
 }
 
-// parse averages every BenchmarkEngineFlood, BenchmarkEngineObserved
-// and BenchmarkEngineFaulty line in r. A line looks like:
+// recompute reads an existing BENCH_sim.json (file argument or stdin),
+// re-derives the ratio blocks from its measured fields, and writes the
+// full document to stdout. Keys it does not understand pass through
+// unchanged.
+func recompute(args []string) error {
+	in := os.Stdin
+	if len(args) > 0 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var doc map[string]any
+	dec := json.NewDecoder(in)
+	if err := dec.Decode(&doc); err != nil {
+		return err
+	}
+	pick := func(key string) (*run, error) {
+		raw, ok := doc[key]
+		if !ok {
+			return nil, nil
+		}
+		b, err := json.Marshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		r := &run{}
+		if err := json.Unmarshal(b, r); err != nil {
+			return nil, fmt.Errorf("field %q: %w", key, err)
+		}
+		// Re-install the typed struct so the emitted field order is the
+		// fresh-measurement order, keeping recompute output diffable
+		// against a freshly generated document.
+		doc[key] = r
+		return r, nil
+	}
+	base, err := pick("baseline")
+	if err != nil {
+		return err
+	}
+	flood, err := pick("current")
+	if err != nil {
+		return err
+	}
+	if base == nil || flood == nil {
+		return fmt.Errorf("document lacks baseline/current fields")
+	}
+	observed, err := pick("observed")
+	if err != nil {
+		return err
+	}
+	faulty, err := pick("faulty")
+	if err != nil {
+		return err
+	}
+	shSerial, err := pick("sharded_serial")
+	if err != nil {
+		return err
+	}
+	sharded, err := pick("sharded")
+	if err != nil {
+		return err
+	}
+	derive(doc, base, flood, observed, faulty, shSerial, sharded)
+	emit(doc)
+	return nil
+}
+
+// engineRuns aggregates the averaged benchmark lines by configuration.
+type engineRuns struct {
+	flood    *run
+	observed *run
+	faulty   *run
+	shSerial *run
+	sharded  *run
+}
+
+// parse averages every recognized BenchmarkEngine* line in r. A line
+// looks like:
 //
 //	BenchmarkEngineFlood  5  35424437 ns/op  75001 events/op  2117225 events/sec  11421680 B/op  5049 allocs/op
-func parse(r io.Reader) (flood, observed, faulty *run, n int, err error) {
-	flood = &run{Engine: "shared 4-ary heap + dense accounting (this tree)"}
-	var obs, flt run
-	obsN, fltN := 0, 0
+func parse(r io.Reader) (*engineRuns, int, error) {
+	type acc struct {
+		run
+		n int
+	}
+	var flood, obs, flt, shs, shp acc
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		f := strings.Fields(sc.Text())
 		if len(f) < 3 || !strings.HasPrefix(f[0], "BenchmarkEngine") {
@@ -101,56 +232,55 @@ func parse(r io.Reader) (flood, observed, faulty *run, n int, err error) {
 		for i := 2; i+1 < len(f); i += 2 {
 			v, err := strconv.ParseFloat(f[i], 64)
 			if err != nil {
-				return nil, nil, nil, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
+				return nil, 0, fmt.Errorf("bad value %q in %q", f[i], sc.Text())
 			}
 			vals[f[i+1]] = v
 		}
+		var a *acc
 		switch {
 		case strings.HasPrefix(f[0], "BenchmarkEngineFlood"):
-			flood.NsPerOp += vals["ns/op"]
-			flood.EventsPerSec += vals["events/sec"]
-			flood.AllocsPerOp += vals["allocs/op"]
-			flood.BytesPerOp += vals["B/op"]
-			n++
+			a = &flood
 		case strings.HasPrefix(f[0], "BenchmarkEngineObserved"):
-			obs.NsPerOp += vals["ns/op"]
-			obs.EventsPerSec += vals["events/sec"]
-			obs.AllocsPerOp += vals["allocs/op"]
-			obs.BytesPerOp += vals["B/op"]
-			obsN++
+			a = &obs
 		case strings.HasPrefix(f[0], "BenchmarkEngineFaulty"):
-			flt.NsPerOp += vals["ns/op"]
-			flt.EventsPerSec += vals["events/sec"]
-			flt.AllocsPerOp += vals["allocs/op"]
-			flt.BytesPerOp += vals["B/op"]
-			fltN++
+			a = &flt
+		case strings.HasPrefix(f[0], "BenchmarkEngineShardedSerial"):
+			a = &shs
+		case strings.HasPrefix(f[0], "BenchmarkEngineSharded"):
+			a = &shp
+		default:
+			continue
 		}
+		a.NsPerOp += vals["ns/op"]
+		a.EventsPerSec += vals["events/sec"]
+		a.AllocsPerOp += vals["allocs/op"]
+		a.BytesPerOp += vals["B/op"]
+		a.n++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, nil, 0, err
+		return nil, 0, err
 	}
-	if n == 0 {
-		return nil, nil, nil, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
+	if flood.n == 0 {
+		return nil, 0, fmt.Errorf("no BenchmarkEngineFlood lines on stdin")
 	}
-	flood.NsPerOp /= float64(n)
-	flood.EventsPerSec /= float64(n)
-	flood.AllocsPerOp /= float64(n)
-	flood.BytesPerOp /= float64(n)
-	if obsN > 0 {
-		obs.Engine = "same engine, full metrics observer attached (BenchmarkEngineObserved)"
-		obs.NsPerOp /= float64(obsN)
-		obs.EventsPerSec /= float64(obsN)
-		obs.AllocsPerOp /= float64(obsN)
-		obs.BytesPerOp /= float64(obsN)
-		observed = &obs
+	avg := func(a *acc, engine string) *run {
+		if a.n == 0 {
+			return nil
+		}
+		a.Engine = engine
+		a.NsPerOp /= float64(a.n)
+		a.EventsPerSec /= float64(a.n)
+		a.AllocsPerOp /= float64(a.n)
+		a.BytesPerOp /= float64(a.n)
+		r := a.run
+		return &r
 	}
-	if fltN > 0 {
-		flt.Engine = "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"
-		flt.NsPerOp /= float64(fltN)
-		flt.EventsPerSec /= float64(fltN)
-		flt.AllocsPerOp /= float64(fltN)
-		flt.BytesPerOp /= float64(fltN)
-		faulty = &flt
+	runs := &engineRuns{
+		flood:    avg(&flood, "shared 4-ary heap + dense accounting (this tree)"),
+		observed: avg(&obs, "same engine, full metrics observer attached (BenchmarkEngineObserved)"),
+		faulty:   avg(&flt, "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"),
+		shSerial: avg(&shs, "serial engine on the sharded benchmark workload (BenchmarkEngineShardedSerial)"),
+		sharded:  avg(&shp, "sharded engine, WithShards(4), conservative lookahead windows (BenchmarkEngineSharded)"),
 	}
-	return flood, observed, faulty, n, nil
+	return runs, flood.n, nil
 }
