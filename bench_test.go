@@ -7,6 +7,7 @@
 package costsense_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -440,6 +441,78 @@ func BenchmarkEngineFaulty(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
+// sweepTrials is the sweep size of the BenchmarkEngineSweep pair: a
+// fig2-style many-trial sweep over one substrate, the workload
+// `costsense serve` schedules per job.
+const sweepTrials = 100
+
+// BenchmarkEngineSweepFresh is the no-reuse baseline: every trial
+// regenerates the graph (no substrate cache) and builds a fresh
+// Network (no pool) — what a sweep cost before the experiment
+// service. One op = a full 100-trial sweep.
+func BenchmarkEngineSweepFresh(b *testing.B) {
+	var comm int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := costsense.RunTrials(sweepTrials, func(t int) (int64, error) {
+			g := costsense.RandomConnected(2000, 6000, costsense.UniformWeights(64, 21), 21)
+			res, err := costsense.RunFlood(g, 0, costsense.WithSeed(int64(t)+1))
+			if err != nil {
+				return 0, err
+			}
+			return res.Stats.Comm, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rows {
+			comm += c
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/sweep")
+	if comm == 0 {
+		b.Fatal("sweep moved no traffic")
+	}
+}
+
+// BenchmarkEngineSweepPooled is the same sweep the way `costsense
+// serve` runs it: the substrate is built once and shared (the cache
+// hit), and each worker recycles one Network allocation through a
+// NetworkPool (the Reset reuse path, byte-identical to fresh runs by
+// the sim/obs golden suites). The ms/sweep ratio against the fresh
+// twin is the service's caching + pooling win, recorded in
+// BENCH_sim.json.
+func BenchmarkEngineSweepPooled(b *testing.B) {
+	g := costsense.RandomConnected(2000, 6000, costsense.UniformWeights(64, 21), 21)
+	ctx := context.Background()
+	var comm int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := costsense.RunTrialsPooled(ctx, sweepTrials,
+			func() *costsense.NetworkPool { return costsense.NewPool(2) },
+			func(_ context.Context, pool *costsense.NetworkPool, t int) (int64, error) {
+				res, err := costsense.RunFlood(g, 0,
+					costsense.WithSeed(int64(t)+1), costsense.WithPool(pool))
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.Comm, nil
+			}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range rows {
+			comm += c
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "ms/sweep")
+	if comm == 0 {
+		b.Fatal("sweep moved no traffic")
+	}
 }
 
 // bigFloodGraph lazily builds the million-node scale workload shared

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -9,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"costsense"
 )
@@ -144,11 +147,20 @@ func runTrials[T any](n int, trial func(int) (T, error)) ([]T, error) {
 	return costsense.RunTrialsObserved(n, trial, sink)
 }
 
-// serveDebug serves expvar (/debug/vars) and pprof (/debug/pprof) for
-// the lifetime of the process. Opt-in via -http; telemetry only.
-func serveDebug(addr string) {
+// serveDebug serves expvar (/debug/vars) and pprof (/debug/pprof)
+// until ctx is cancelled, then shuts the listener down gracefully so
+// an in-flight scrape isn't cut mid-response. Opt-in via -http;
+// telemetry only.
+func serveDebug(ctx context.Context, addr string) {
 	fmt.Fprintf(os.Stderr, "costsense: serving /debug/vars and /debug/pprof on %s\n", addr)
-	if err := http.ListenAndServe(addr, nil); err != nil {
+	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shCtx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "costsense: debug server:", err)
 	}
 }

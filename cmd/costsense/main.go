@@ -8,6 +8,9 @@
 //	costsense [flags] exp <id>     run one experiment
 //	costsense [flags] exp all      run every experiment
 //	costsense list                 list experiment ids
+//	costsense serve [flags]        persistent experiment service (HTTP API
+//	                               with substrate cache; see README,
+//	                               "Server mode")
 //
 // Observability flags (see DESIGN.md, "Observability"):
 //
@@ -26,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -90,13 +94,20 @@ func run(args []string) error {
 	}
 	instr.multi = false
 	if instr.httpAddr != "" {
-		go serveDebug(instr.httpAddr)
+		// The debug listener lives for the rest of the invocation and is
+		// shut down gracefully (in-flight scrapes finish) when run
+		// returns.
+		debugCtx, stopDebug := context.WithCancel(context.Background())
+		defer stopDebug()
+		go serveDebug(debugCtx, instr.httpAddr)
 	}
 	exps := experiments()
 	if len(args) == 0 {
 		return usage()
 	}
 	switch args[0] {
+	case "serve":
+		return runServe(args[1:])
 	case "verify":
 		return verifyAll()
 	case "list":
@@ -146,7 +157,7 @@ func runOne(e experiment) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify}")
+	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify | serve [-addr a] [-queue n] [-cache-mb n] [-drain d]}")
 }
 
 // ratio formats a measured/bound quotient.

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"costsense/internal/serve"
+)
+
+// runServe runs `costsense serve`: the persistent experiment service.
+// It blocks until the listener fails or the process receives SIGINT or
+// SIGTERM; on a signal it stops admitting jobs, drains the queue
+// within -drain, and exits 0. A second signal kills the process
+// immediately (signal.NotifyContext's Stop re-arms the default
+// handler).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("costsense serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen `address` for the experiment API")
+	queueCap := fs.Int("queue", 16, "max queued jobs before submissions get 429 (`n`)")
+	cacheMB := fs.Int("cache-mb", 256, "substrate cache budget in `MiB`")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown `deadline` for queued and running jobs")
+	fs.SetOutput(os.Stderr)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(serve.Config{
+		QueueCap:   *queueCap,
+		CacheBytes: int64(*cacheMB) << 20,
+		// The default mux carries expvar's /debug/vars and (via the
+		// blank import in instrument.go) /debug/pprof.
+		DebugHandler: http.DefaultServeMux,
+	})
+	s.Start()
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "costsense: serving experiments on http://%s (POST /api/v1/jobs)\n", *addr)
+
+	select {
+	case err := <-errCh:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // from here on, a second signal terminates immediately
+	fmt.Fprintf(os.Stderr, "costsense: signal received; draining jobs (deadline %s)\n", *drain)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drainErr := s.Drain(shCtx)
+	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "costsense: http shutdown:", err)
+	}
+	<-errCh // ListenAndServe has returned ErrServerClosed
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "costsense: drain deadline hit; unfinished jobs were failed")
+	} else {
+		fmt.Fprintln(os.Stderr, "costsense: drained cleanly")
+	}
+	return nil
+}

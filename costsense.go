@@ -38,6 +38,8 @@
 package costsense
 
 import (
+	"context"
+
 	"costsense/internal/basic"
 	"costsense/internal/clocksync"
 	"costsense/internal/connect"
@@ -74,6 +76,18 @@ func RunTrials[T any](n int, trial func(int) (T, error)) ([]T, error) {
 // identical to RunTrials.
 func RunTrialsObserved[T any](n int, trial func(int) (T, error), sink TrialSink) ([]T, error) {
 	return harness.RunIndexedObserved(n, trial, sink)
+}
+
+// RunTrialsPooled is RunTrials with cancellation and per-worker
+// reusable state — the sweep shape behind `costsense serve`. newState
+// (when non-nil) runs once per worker; its value is owned by that
+// worker for the whole sweep, so a NetworkPool threaded this way needs
+// no locking: pass WithPool(state) in each trial's options and
+// consecutive trials on one worker recycle a single Network
+// allocation, byte-identical to fresh runs. Cancelling ctx stops the
+// sweep between trials and returns ctx's error.
+func RunTrialsPooled[S, T any](ctx context.Context, n int, newState func() S, trial func(context.Context, S, int) (T, error), sink TrialSink) ([]T, error) {
+	return harness.RunIndexedPooled(ctx, n, newState, trial, sink)
 }
 
 // Graph model (internal/graph).
@@ -190,7 +204,18 @@ var (
 	// WithShardAssignment pins an explicit vertex -> shard map instead
 	// of the built-in cluster partitioner.
 	WithShardAssignment = sim.WithShardAssignment
+	// NewPool builds a network pool for sweeps: WithPool(p) recycles a
+	// finished Network's allocations into the next run on the same
+	// graph, with byte-identical results (the Reset golden contract).
+	// A Pool is single-goroutine state — give each sweep worker its
+	// own (see RunTrialsPooled).
+	NewPool  = sim.NewPool
+	WithPool = sim.WithPool
 )
+
+// NetworkPool recycles Network allocations across runs on the same
+// graph.
+type NetworkPool = sim.Pool
 
 // Observability (internal/obs). Observers are optional: a Network
 // without one keeps the allocation-free hot path, and an observed run

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -55,6 +56,29 @@ func workerCount(procs, n int) int {
 // nil sink adds no overhead. The sink observes scheduling (completion
 // order, wall time); the returned results are identical to RunIndexed.
 func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, error) {
+	return RunIndexedPooled(context.Background(), n, nil,
+		func(_ context.Context, _ struct{}, i int) (T, error) { return fn(i) }, sink)
+}
+
+// RunIndexedPooled is the full-featured indexed runner behind
+// RunIndexed: trials additionally receive a cancellation context and a
+// per-worker state value.
+//
+// newState, when non-nil, runs once per worker goroutine before it
+// picks up trials; the value it returns is passed to every trial that
+// worker executes. This is how sweeps thread *reusable* scratch state
+// (a sim.Pool recycling network arenas, scratch buffers) through the
+// pool without any locking: state S is owned by exactly one goroutine
+// for the whole run. Because trials are distributed to workers
+// dynamically, results must not depend on which worker (hence which
+// state value) a trial lands on — with sim.Pool they don't, by the
+// Reset golden contract.
+//
+// Cancelling ctx stops workers from picking up further trials; trials
+// already in flight run to completion (a simulator run is not
+// interruptible mid-event-loop). A cancelled run returns ctx's error;
+// otherwise errors report as in RunIndexed (lowest failing index).
+func RunIndexedPooled[S, T any](ctx context.Context, n int, newState func() S, fn func(context.Context, S, int) (T, error), sink Sink) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -68,7 +92,11 @@ func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			var state S
+			if newState != nil {
+				state = newState()
+			}
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -76,7 +104,7 @@ func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, 
 				if sink != nil {
 					sink.TrialStart(i)
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = fn(ctx, state, i)
 				if sink != nil {
 					sink.TrialDone(i, int(done.Add(1)), n)
 				}
@@ -84,6 +112,9 @@ func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, 
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Queue errors, distinguishable by callers that map them to transport
+// responses (the experiment server returns 429 for a full queue and
+// 503 for a closed one).
+var (
+	// ErrQueueFull: the queue is at capacity; retry after backpressure.
+	ErrQueueFull = errors.New("harness: job queue full")
+	// ErrQueueClosed: the queue no longer accepts jobs (shutting down).
+	ErrQueueClosed = errors.New("harness: job queue closed")
+)
+
+// Job is one unit of queued work. It receives the run context the
+// queue's Run loop was started with; a job that fans out trials should
+// pass that context to RunIndexedPooled so a drain deadline can stop
+// it between trials.
+type Job func(context.Context)
+
+// Queue is a bounded FIFO job queue with non-blocking admission — the
+// backpressure primitive of the experiment server. Producers TrySubmit
+// from any goroutine and get ErrQueueFull instead of blocking when the
+// bound is hit; a single Run loop executes jobs in admission order, so
+// each job's trials own the whole worker pool and two jobs never
+// interleave their simulator runs (which keeps per-worker sim.Pool
+// reuse sound).
+type Queue struct {
+	mu     sync.Mutex
+	jobs   chan Job
+	closed bool
+}
+
+// NewQueue builds a queue admitting at most capacity pending jobs
+// (capacity <= 0 means 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{jobs: make(chan Job, capacity)}
+}
+
+// TrySubmit enqueues j without blocking: ErrQueueFull when the queue
+// is at capacity, ErrQueueClosed after Close.
+func (q *Queue) TrySubmit(j Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Len reports the number of jobs admitted but not yet started.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Cap reports the admission bound.
+func (q *Queue) Cap() int { return cap(q.jobs) }
+
+// Close rejects all further submissions. Jobs already admitted still
+// run; once they finish, Run returns. Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+}
+
+// Run executes admitted jobs one at a time, in admission order, until
+// the queue is Closed and drained, or ctx is cancelled — whichever
+// comes first. ctx is also handed to every job, so cancelling it both
+// stops the loop and tells the running job to wind down. Run is the
+// queue's single consumer; call it from exactly one goroutine.
+func (q *Queue) Run(ctx context.Context) {
+	for {
+		// Prefer cancellation when both are ready: a drain deadline
+		// must win over a backlog.
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case j, ok := <-q.jobs:
+			if !ok {
+				return
+			}
+			j(ctx)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueBackpressure: admission beyond capacity fails fast with
+// ErrQueueFull while no consumer is draining, and admission after
+// Close fails with ErrQueueClosed.
+func TestQueueBackpressure(t *testing.T) {
+	q := NewQueue(2)
+	nop := func(context.Context) {}
+	if err := q.TrySubmit(nop); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySubmit(nop); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySubmit(nop); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	if q.Len() != 2 || q.Cap() != 2 {
+		t.Fatalf("Len/Cap = %d/%d, want 2/2", q.Len(), q.Cap())
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.TrySubmit(nop); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrQueueClosed", err)
+	}
+}
+
+// TestQueueRunDrains: Run executes admitted jobs in admission order
+// and returns once the queue is closed and empty.
+func TestQueueRunDrains(t *testing.T) {
+	q := NewQueue(8)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := q.TrySubmit(func(context.Context) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	done := make(chan struct{})
+	go func() { q.Run(context.Background()); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after close+drain")
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d jobs, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("jobs ran out of admission order: %v", order)
+		}
+	}
+}
+
+// TestQueueRunCancel: cancelling the run context stops the loop with
+// jobs still pending.
+func TestQueueRunCancel(t *testing.T) {
+	q := NewQueue(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	if err := q.TrySubmit(func(context.Context) { close(started); <-release; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TrySubmit(func(context.Context) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { q.Run(ctx); close(done) }()
+	<-started
+	cancel()
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran after cancel, want 1 (the in-flight one)", got)
+	}
+}
+
+// TestRunIndexedPooledState: every trial sees the state built by its
+// worker, each worker builds state exactly once, and results stay
+// index-ordered.
+func TestRunIndexedPooledState(t *testing.T) {
+	var states atomic.Int64
+	type scratch struct{ uses int }
+	out, err := RunIndexedPooled(context.Background(), 64,
+		func() *scratch { states.Add(1); return &scratch{} },
+		func(_ context.Context, s *scratch, i int) (int, error) {
+			s.uses++
+			return i * i, nil
+		}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if got := states.Load(); got < 1 || got > 64 {
+		t.Fatalf("newState ran %d times, want between 1 and worker count", got)
+	}
+}
+
+// TestRunIndexedPooledCancel: a cancelled context surfaces as the
+// run's error and stops further trials.
+func TestRunIndexedPooledCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := RunIndexedPooled(ctx, 1_000_000, nil,
+		func(ctx context.Context, _ struct{}, i int) (int, error) {
+			if ran.Add(1) == 1 {
+				cancel()
+			}
+			return i, nil
+		}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1_000_000 {
+		t.Fatalf("cancellation did not stop the sweep (%d trials ran)", got)
+	}
+}
+
+// TestRunIndexedPooledNilState: a nil newState is allowed and passes
+// the zero value.
+func TestRunIndexedPooledNilState(t *testing.T) {
+	out, err := RunIndexedPooled(context.Background(), 3, nil,
+		func(_ context.Context, s struct{}, i int) (int, error) { return i + 1, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[2] != 3 {
+		t.Fatalf("unexpected results %v", out)
+	}
+}

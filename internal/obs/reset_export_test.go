@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"costsense/internal/graph"
+	"costsense/internal/reliable"
+	"costsense/internal/sim"
+)
+
+// Fresh-vs-reused export identity: a pooled Network that has already
+// completed a run under a different configuration must, after Reset,
+// export byte-identical metrics JSON, edge CSV, and Chrome trace JSON
+// to a freshly constructed Network — across every delay model, plain
+// and congested, clean and faulty (with the reliable layer's process
+// wrapper installed, exercising the deferred-wrap path through a real
+// adapter). This is the export half of the Reset golden contract; the
+// Stats half lives in internal/sim.
+func TestResetExportsByteIdentical(t *testing.T) {
+	for _, faulty := range []bool{false, true} {
+		for _, c := range obsCases() {
+			c, faulty := c, faulty
+			name := c.name
+			if faulty {
+				name += "/faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+				pool := sim.NewPool(1)
+
+				// Prime the pool with a run under a different delay
+				// model, seed, congestion setting and fault plan, so the
+				// reused instance has every kind of stale state to shed.
+				primeOpts := []sim.Option{
+					sim.WithDelay(sim.DelayUniform{}), sim.WithSeed(c.seed + 99),
+					sim.WithCongestion(), sim.WithFaults(faultyPlan(g)), sim.WithPool(pool),
+					sim.WithEventLimit(5_000_000),
+				}
+				primeOpt, _ := reliable.Install(reliable.Config{})
+				procs := func() []sim.Process {
+					ps := make([]sim.Process, g.N())
+					for v := range ps {
+						ps[v] = &ackFlooder{}
+					}
+					return ps
+				}
+				if _, err := sim.Run(g, procs(), append(primeOpts, primeOpt)...); err != nil {
+					t.Fatal(err)
+				}
+				if pool.Size() != 1 {
+					t.Fatalf("pool size = %d after priming run, want 1", pool.Size())
+				}
+
+				var metricsOut, csvOut, traceOut [2]bytes.Buffer
+				for i, pooled := range []bool{false, true} {
+					m := NewMetrics(g)
+					tr := NewTrace(g)
+					opts := []sim.Option{
+						sim.WithDelay(c.delay), sim.WithSeed(c.seed),
+						sim.WithObserver(NewTee(m, tr)),
+					}
+					if c.congested {
+						opts = append(opts, sim.WithCongestion())
+					}
+					if faulty {
+						opt, _ := reliable.Install(reliable.Config{})
+						opts = append(opts, opt,
+							sim.WithFaults(faultyPlan(g)), sim.WithEventLimit(5_000_000))
+					}
+					if pooled {
+						opts = append(opts, sim.WithPool(pool))
+					}
+					if _, err := sim.Run(g, procs(), opts...); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.WriteJSON(&metricsOut[i]); err != nil {
+						t.Fatal(err)
+					}
+					if err := m.WriteEdgeCSV(&csvOut[i]); err != nil {
+						t.Fatal(err)
+					}
+					if err := tr.Export(&traceOut[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !bytes.Equal(metricsOut[0].Bytes(), metricsOut[1].Bytes()) {
+					t.Error("reused-network metrics JSON differs from fresh network")
+				}
+				if !bytes.Equal(csvOut[0].Bytes(), csvOut[1].Bytes()) {
+					t.Error("reused-network edge CSV differs from fresh network")
+				}
+				if !bytes.Equal(traceOut[0].Bytes(), traceOut[1].Bytes()) {
+					t.Error("reused-network trace JSON differs from fresh network")
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,436 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"costsense/internal/harness"
+)
+
+// Job states, reported in status JSON.
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobDone
+	jobFailed
+)
+
+func stateName(s int32) string {
+	switch s {
+	case jobQueued:
+		return "queued"
+	case jobRunning:
+		return "running"
+	case jobDone:
+		return "done"
+	}
+	return "failed"
+}
+
+// Job is one admitted experiment submission. Its mutable fields are
+// written by the scheduler goroutine and read by HTTP handlers, hence
+// the atomics; result and errMsg are published by closing finished.
+type Job struct {
+	id   string
+	spec Spec
+
+	state      atomic.Int32
+	cached     atomic.Bool // substrate came from the cache (set at start)
+	trialsDone atomic.Int64
+
+	finished chan struct{} // closed after result/errMsg are set
+	result   []byte        // final Result JSON (nil if failed)
+	errMsg   string
+}
+
+func newJob(id string, spec Spec) *Job {
+	return &Job{id: id, spec: spec, finished: make(chan struct{})}
+}
+
+// Job implements harness.Sink to count finished trials for status and
+// streaming. Callbacks fire from worker goroutines; atomics only.
+func (j *Job) TrialStart(int) {}
+
+// TrialDone records progress; done is the harness's monotone finished
+// count.
+func (j *Job) TrialDone(_, done, _ int) { j.trialsDone.Store(int64(done)) }
+
+// JobStatus is the wire form of a job's current state. SubstrateCached
+// lives here — in the *status*, never in the result — because whether
+// the substrate was a cache hit is scheduling history, not experiment
+// output: results must stay byte-identical across submissions.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Experiment  string `json:"experiment"`
+	TrialsDone  int64  `json:"trials_done"`
+	TrialsTotal int    `json:"trials_total"`
+	// SubstrateCached reports whether the job's substrate came from
+	// the cache; present once the job has started.
+	SubstrateCached *bool  `json:"substrate_cached,omitempty"`
+	Error           string `json:"error,omitempty"`
+}
+
+func (j *Job) status() JobStatus {
+	st := j.state.Load()
+	s := JobStatus{
+		ID:          j.id,
+		State:       stateName(st),
+		Experiment:  j.spec.Experiment,
+		TrialsDone:  j.trialsDone.Load(),
+		TrialsTotal: j.spec.Trials,
+	}
+	if st != jobQueued {
+		cached := j.cached.Load()
+		s.SubstrateCached = &cached
+	}
+	if st == jobFailed {
+		s.Error = j.errMsg
+	}
+	return s
+}
+
+func (j *Job) complete(result []byte) {
+	j.result = result
+	j.state.Store(jobDone)
+	close(j.finished)
+}
+
+func (j *Job) fail(msg string) {
+	j.errMsg = msg
+	j.state.Store(jobFailed)
+	close(j.finished)
+}
+
+// Config tunes a Server.
+type Config struct {
+	// QueueCap bounds the number of admitted-but-unstarted jobs;
+	// submissions beyond it get 429 + Retry-After (default 16).
+	QueueCap int
+	// CacheBytes bounds the substrate cache (default 256 MiB).
+	CacheBytes int64
+	// StreamInterval is the progress-stream emission period
+	// (default 250ms).
+	StreamInterval time.Duration
+	// DebugHandler, when non-nil, is mounted at /debug/ (the cmd layer
+	// passes the expvar+pprof mux).
+	DebugHandler http.Handler
+}
+
+// Server is the costsense experiment service: it admits specs onto a
+// bounded job queue (backpressure via 429), runs them one at a time on
+// the harness worker pool with pooled simulator state, shares
+// substrates through the content-addressed cache, and serves status,
+// NDJSON progress streams, and byte-deterministic results.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	queue *harness.Queue
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // creation order, for listing
+	nextID int
+
+	runCtx    context.Context // cancelled after drain; stops sweeps and streams
+	runCancel context.CancelFunc
+	drained   chan struct{} // closed when the scheduler loop exits
+	started   atomic.Bool
+}
+
+// New builds a Server. Call Start before serving its Handler.
+func New(cfg Config) *Server {
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 16
+	}
+	if cfg.StreamInterval <= 0 {
+		cfg.StreamInterval = 250 * time.Millisecond
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheBytes),
+		queue:     harness.NewQueue(cfg.QueueCap),
+		jobs:      make(map[string]*Job),
+		runCtx:    runCtx,
+		runCancel: cancel,
+		drained:   make(chan struct{}),
+	}
+}
+
+// Cache exposes the substrate cache (for stats and tests).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Start launches the scheduler: a single goroutine draining the job
+// queue in admission order. Idempotent.
+func (s *Server) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	go func() {
+		defer close(s.drained)
+		s.queue.Run(s.runCtx)
+	}()
+}
+
+// Drain gracefully shuts the job pipeline down: stop admitting, let
+// already-admitted jobs finish within ctx's deadline, then cancel
+// whatever remains (an in-flight sweep stops between trials) and fail
+// unstarted jobs. After Drain the server only serves reads. Returns
+// ctx.Err() if the deadline cut the drain short, nil if it was clean.
+func (s *Server) Drain(ctx context.Context) error {
+	s.queue.Close()
+	if !s.started.Swap(true) {
+		// No scheduler ever started, so nothing will drain the queue or
+		// close drained; do both here. The Swap also keeps a late Start
+		// from launching one now.
+		s.runCancel()
+		close(s.drained)
+	}
+	var err error
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.runCancel()
+	<-s.drained
+	s.failUnfinished()
+	return err
+}
+
+// failUnfinished marks every job that will never run (queued at
+// shutdown) or was cut off mid-sweep as failed, so streams and polls
+// terminate.
+func (s *Server) failUnfinished() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		select {
+		case <-j.finished:
+		default:
+			j.fail("server shut down before the job finished")
+		}
+	}
+}
+
+// runJob executes one admitted job: resolve the substrate through the
+// cache, run the sweep, publish the result bytes.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking job (a protocol bug, a mutated substrate)
+			// must not take down the scheduler loop with it.
+			j.fail(fmt.Sprintf("job panicked: %v", r))
+		}
+	}()
+	key := j.spec.SubstrateKey()
+	sub, hit := s.cache.GetOrBuild(key, func() *Substrate {
+		return buildSubstrate(key, j.spec.Graph, j.spec.Shards)
+	})
+	j.cached.Store(hit)
+	j.state.Store(jobRunning)
+	res, err := runSpec(ctx, j.spec, sub, j)
+	if err != nil {
+		j.fail(err.Error())
+		return
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		j.fail(fmt.Sprintf("encoding result: %v", err))
+		return
+	}
+	j.complete(append(b, '\n'))
+}
+
+// Handler returns the server's HTTP API:
+//
+//	GET  /healthz              liveness + queue depth
+//	POST /api/v1/jobs          submit a Spec; 202, or 429 when the queue is full
+//	GET  /api/v1/jobs          all job statuses in creation order
+//	GET  /api/v1/jobs/{id}     one job's status
+//	GET  /api/v1/jobs/{id}/result   the result JSON (once done)
+//	GET  /api/v1/jobs/{id}/stream   NDJSON status stream until terminal
+//	GET  /api/v1/cache         substrate cache counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /api/v1/cache", s.handleCache)
+	if s.cfg.DebugHandler != nil {
+		mux.Handle("/debug/", s.cfg.DebugHandler)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.queue.Len(),
+		"queue_cap":   s.queue.Cap(),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding spec: %v", err)
+		return
+	}
+	if err := spec.Normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid spec: %v", err)
+		return
+	}
+
+	// ID allocation, admission and registration are atomic under mu, so
+	// job IDs are dense, in admission order, and never burned on a
+	// rejected submission.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := fmt.Sprintf("job-%06d", s.nextID+1)
+	j := newJob(id, spec)
+	if err := s.queue.TrySubmit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
+		switch {
+		case errors.Is(err, harness.ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":       "job queue full; retry later",
+				"queue_depth": s.queue.Len(),
+				"queue_cap":   s.queue.Cap(),
+			})
+		case errors.Is(err, harness.ErrQueueClosed):
+			writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	s.nextID++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         id,
+		"status_url": "/api/v1/jobs/" + id,
+		"result_url": "/api/v1/jobs/" + id + "/result",
+		"stream_url": "/api/v1/jobs/" + id + "/stream",
+	})
+}
+
+func (s *Server) job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		list = append(list, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	select {
+	case <-j.finished:
+	default:
+		writeError(w, http.StatusConflict, "job is %s; result not ready", stateName(j.state.Load()))
+		return
+	}
+	if j.state.Load() == jobFailed {
+		writeError(w, http.StatusInternalServerError, "job failed: %s", j.errMsg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(j.result)
+}
+
+// handleStream emits the job's status as NDJSON — one line per
+// StreamInterval tick plus a final line at the terminal state — until
+// the job finishes, the client goes away, or the server shuts down.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(s.cfg.StreamInterval)
+	defer ticker.Stop()
+	for {
+		if err := enc.Encode(j.status()); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-j.finished:
+			enc.Encode(j.status())
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		case <-ticker.C:
+		case <-r.Context().Done():
+			return
+		case <-s.runCtx.Done():
+			// Shutdown: failUnfinished will close j.finished; emit the
+			// terminal line and go.
+			<-j.finished
+			enc.Encode(j.status())
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}

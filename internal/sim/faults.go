@@ -89,7 +89,7 @@ func (p FaultPlan) Empty() bool {
 // unknown nodes or edges) panic at construction — a bad plan is a
 // harness bug, not a runtime condition.
 func WithFaults(p FaultPlan) Option {
-	return func(n *Network) { n.installFaults(p) }
+	return func(n *Network) { n.pendingFaults = &p }
 }
 
 // downWindow is one normalized outage interval [from, until).
@@ -187,13 +187,17 @@ func (n *Network) installFaults(p FaultPlan) {
 
 	// Mark half-edges whose edge has outage windows, so the hot path
 	// skips the window scan entirely for the (typical) clean edges.
-	for v := range n.nbr {
-		for i := range n.nbr[v] {
-			h := &n.nbr[v][i]
-			if f.downIdx[h.eid] != f.downIdx[int(h.eid)+1] {
-				h.fdown = 1
+	// resetRunState clears the marks when the Network is reused.
+	if len(f.downs) > 0 {
+		for v := range n.nbr {
+			for i := range n.nbr[v] {
+				h := &n.nbr[v][i]
+				if f.downIdx[h.eid] != f.downIdx[int(h.eid)+1] {
+					h.fdown = 1
+				}
 			}
 		}
+		n.fdownMarked = true
 	}
 
 	// Observer timeline: crashes and window-starts in time order.

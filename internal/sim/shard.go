@@ -88,6 +88,22 @@ func (n *Network) buildShardPlan() (*shardPlan, error) {
 	return p, nil
 }
 
+// ShardAssignment exposes the automatic partitioner behind WithShards:
+// the vertex -> shard map WithShards(k) would compute for g. Callers
+// that sweep many runs over one graph can compute the assignment once,
+// cache it, and pass it to every run with WithShardAssignment — the
+// substrate cache in internal/serve does exactly this, so a
+// thousand-trial sharded sweep partitions the graph once.
+func ShardAssignment(g *graph.Graph, k int) []int32 {
+	if k > g.N() {
+		k = g.N()
+	}
+	if k < 1 {
+		k = 1
+	}
+	return partitionShards(g, k)
+}
+
 // partitionShards maps vertices to k shards. The primary partitioner
 // reuses the synchronizer-γ cluster primitive (internal/cover): grow
 // clusters with factor 2 — few cut edges, by the same argument that

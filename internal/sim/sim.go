@@ -367,14 +367,13 @@ func WithShardAssignment(shardOf []int32) Option {
 // internal/reliable wraps each protocol automaton with a
 // retransmitting, deduplicating shim by passing this option to RunGHS
 // or RunGammaW, leaving the protocols themselves untouched.
+//
+// Like every Option, the wrapper is recorded when the option is
+// applied and takes effect exactly once, at finalize — so an option
+// list can be probed and replayed onto a pooled Network (see Pool)
+// without running wrap's side effects twice.
 func WithProcessWrapper(wrap func([]Process) []Process) Option {
-	return func(n *Network) {
-		ps := wrap(n.procs)
-		if len(ps) != len(n.procs) {
-			panic(fmt.Sprintf("sim: WithProcessWrapper returned %d processes for %d vertices", len(ps), len(n.procs)))
-		}
-		n.procs = ps
-	}
+	return func(n *Network) { n.wrapFns = append(n.wrapFns, wrap) }
 }
 
 // halfEdge is one entry of the per-node neighbor index: the directed
@@ -424,22 +423,74 @@ type Network struct {
 	faults     *faultState // nil unless WithFaults installed a plan
 	shards     int         // >1: Run dispatches to the sharded engine (engine_parallel.go)
 	shardOf    []int32     // explicit shard assignment (WithShardAssignment), else computed
+
+	// Deferred configuration, recorded by Options and acted on once at
+	// finalize. Options are pure setters on these fields so that an
+	// option list can be applied to a probe Network (to discover the
+	// pool) and then replayed onto a pooled instance without running
+	// any side effect twice.
+	wrapFns       []func([]Process) []Process // WithProcessWrapper, in application order
+	pendingFaults *FaultPlan                  // WithFaults plan, installed at finalize
+	fdownMarked   bool                        // neighbor index carries fdown marks to clear on Reset
+	pool          *Pool                       // WithPool: release target after Run
 }
 
 // NewNetwork creates a network running procs[v] at vertex v.
+//
+// When the option list carries WithPool and the pool holds an idle
+// Network built on the same *graph.Graph, that instance is Reset and
+// returned instead of allocating a new one: its event heap, payload
+// arena, neighbor index and accounting slices are reused, so a sweep
+// of many runs over one substrate pays the construction cost once.
 func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, error) {
 	if len(procs) != g.N() {
 		return nil, fmt.Errorf("sim: %d processes for %d vertices", len(procs), g.N())
 	}
-	n := &Network{
-		g:          g,
-		procs:      procs,
-		delay:      DelayMax{},
-		seed:       1,
-		lastArrive: make([]int64, 2*g.M()),
-		traces:     make(map[string][]TracePoint),
-		eventLimit: 50_000_000,
+	n := &Network{g: g, procs: procs}
+	n.setDefaults()
+	for _, o := range opts {
+		o(n)
 	}
+	if n.pool != nil {
+		if cached := n.pool.take(g); cached != nil {
+			// Replay the option list onto the pooled instance. Options
+			// are pure setters (side effects run once, at finalize), so
+			// the probe application above configured nothing durable.
+			if err := cached.Reset(procs, opts...); err != nil {
+				return nil, err
+			}
+			return cached, nil
+		}
+	}
+	n.initStorage()
+	if err := n.finalize(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// setDefaults resets the run configuration to the documented defaults;
+// Options then override them.
+func (n *Network) setDefaults() {
+	n.delay = DelayMax{}
+	n.seed = 1
+	n.eventLimit = 50_000_000
+	n.congested = false
+	n.obs = nil
+	n.shards = 0
+	n.shardOf = nil
+	n.wrapFns = nil
+	n.pendingFaults = nil
+	n.pool = nil
+}
+
+// initStorage allocates the run-independent heavy state: event heap,
+// payload arena, neighbor index, accounting slices and per-node
+// contexts. Runs once per Network; Reset reuses all of it.
+func (n *Network) initStorage() {
+	g := n.g
+	n.lastArrive = make([]int64, 2*g.M())
+	n.traces = make(map[string][]TracePoint)
 	// Pre-size the queue and payload arena for the common regime of a
 	// few in-flight messages per edge; both still grow on demand.
 	n.queue = *pq.NewHeap[event](2 * g.M())
@@ -453,8 +504,29 @@ func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, erro
 		n.internClass(c)
 	}
 	n.buildNeighborIndex()
-	for _, o := range opts {
-		o(n)
+	n.ctxs = make([]nodeCtx, g.N())
+	for v := range n.ctxs {
+		n.ctxs[v] = nodeCtx{net: n, id: graph.NodeID(v)}
+	}
+}
+
+// finalize acts on the configuration the Options recorded: it runs the
+// deferred process wrappers in order, installs the fault plan (the
+// neighbor index exists by now, so down-window edges can be marked),
+// and resolves the devirtualized DelayMax fast path. Called exactly
+// once per NewNetwork or Reset.
+func (n *Network) finalize() error {
+	for _, wrap := range n.wrapFns {
+		ps := wrap(n.procs)
+		if len(ps) != len(n.procs) {
+			panic(fmt.Sprintf("sim: WithProcessWrapper returned %d processes for %d vertices", len(ps), len(n.procs)))
+		}
+		n.procs = ps
+	}
+	n.wrapFns = nil
+	if p := n.pendingFaults; p != nil {
+		n.pendingFaults = nil
+		n.installFaults(*p)
 	}
 	if _, ok := n.delay.(DelayMax); ok {
 		// The default maximal adversary is a pure d = w(e): skip the
@@ -462,11 +534,70 @@ func NewNetwork(g *graph.Graph, procs []Process, opts ...Option) (*Network, erro
 		// so the fast path cannot shift the random stream.
 		n.delayIsMax = true
 	}
-	n.ctxs = make([]nodeCtx, g.N())
-	for v := range n.ctxs {
-		n.ctxs[v] = nodeCtx{net: n, id: graph.NodeID(v)}
+	return nil
+}
+
+// Reset returns the Network to its just-constructed state over the
+// same graph, with fresh processes and options, reusing every
+// allocation the previous run grew: the event heap, the payload arena
+// and its free list, the neighbor index, the FIFO floors and the dense
+// accounting slices. A Reset Network runs byte-identically to a
+// freshly built one (pinned by the fresh-vs-reused golden tests).
+//
+// Reset invalidates the *Stats returned by the previous Run and any
+// trace slices obtained from it: copy what you need before resetting.
+// Configuration does not carry over — the option list passed here is
+// the network's entire configuration, exactly as with NewNetwork.
+func (n *Network) Reset(procs []Process, opts ...Option) error {
+	if len(procs) != n.g.N() {
+		return fmt.Errorf("sim: Reset: %d processes for %d vertices", len(procs), n.g.N())
 	}
-	return n, nil
+	n.resetRunState()
+	n.setDefaults()
+	n.procs = procs
+	for _, o := range opts {
+		o(n)
+	}
+	return n.finalize()
+}
+
+// resetRunState clears everything a run mutates while keeping the
+// backing storage: the counters, heap elements, arena payloads (so the
+// GC can reclaim them), FIFO floors, accounting, and fault marks.
+func (n *Network) resetRunState() {
+	n.queue.Reset()
+	n.now = 0
+	n.sendSeq = 0
+	clear(n.lastArrive)
+	clear(n.msgs) // release payload references before truncating
+	n.msgs = n.msgs[:0]
+	n.msgSeq = n.msgSeq[:0]
+	n.msgFree = n.msgFree[:0]
+	n.delayIsMax = false
+	used := n.stats.UsedEdges
+	clear(used)
+	n.stats = Stats{UsedEdges: used}
+	// Interned classes persist (IDs are internal; accounting restarts).
+	for i := range n.classStats {
+		n.classStats[i] = ClassStats{}
+	}
+	// A fresh map, not clear(): trace slices handed out by the previous
+	// run must stay valid for their holders.
+	n.traces = make(map[string][]TracePoint)
+	for v := range n.ctxs {
+		n.ctxs[v].seq = 0
+		n.ctxs[v].rng = nil
+	}
+	if n.fdownMarked {
+		for v := range n.nbr {
+			for i := range n.nbr[v] {
+				n.nbr[v][i].fdown = 0
+			}
+		}
+		n.fdownMarked = false
+	}
+	n.faults = nil
+	n.ran = false
 }
 
 // buildNeighborIndex precomputes, for every vertex, its half-edges
@@ -808,14 +939,30 @@ func (n *Network) allocSlot(m Message, seq int64) int32 {
 
 // Run initializes every process at time 0 and drives the event queue to
 // quiescence. It returns the accumulated statistics. Run may be called
-// once per Network; a second call returns an error.
+// once per Network (use Reset to run again); a second call returns an
+// error.
 //
-//costsense:hotpath
+// When the Network was built with WithPool, Run releases it back to
+// the pool after the run, so the next NewNetwork over the same graph
+// reuses its storage — which also means the returned *Stats is only
+// valid until that reuse; pooled callers must copy what they need
+// before starting another run from the same goroutine.
 func (n *Network) Run() (*Stats, error) {
 	if n.ran {
-		//costsense:alloc-ok cold path: constructing the reuse error, run over
-		return nil, fmt.Errorf("sim: Run called twice on the same Network")
+		return nil, fmt.Errorf("sim: Run called twice on the same Network (use Reset to rerun)")
 	}
+	st, err := n.run()
+	if n.pool != nil {
+		n.pool.put(n)
+	}
+	return st, err
+}
+
+// run is the once-per-Reset execution: the serial event loop, or the
+// dispatch into the sharded engine.
+//
+//costsense:hotpath
+func (n *Network) run() (*Stats, error) {
 	n.ran = true
 	if n.shards > 1 && n.g.N() > 1 {
 		//costsense:alloc-ok cold path: the sharded engine allocates per-shard state up front, never per event

@@ -36,6 +36,8 @@ type doc struct {
 	Faulty        *run `json:"faulty"`
 	ShardedSerial *run `json:"sharded_serial"`
 	Sharded       *run `json:"sharded"`
+	SweepFresh    *run `json:"sweep_fresh"`
+	SweepPooled   *run `json:"sweep_pooled"`
 }
 
 func main() {
@@ -102,6 +104,12 @@ func guard(args []string) error {
 	if d, err := loadDoc(args[1]); err == nil && d.Sharded != nil && d.ShardedSerial != nil && d.ShardedSerial.EventsPerSec > 0 {
 		fmt.Printf("sharded:     %.0f events/sec vs %.0f serial (%.2fx, informational; core-count dependent)\n",
 			d.Sharded.EventsPerSec, d.ShardedSerial.EventsPerSec, d.Sharded.EventsPerSec/d.ShardedSerial.EventsPerSec)
+	}
+	// The sweep pair tracks the experiment service's caching + pooled
+	// Reset win; wall clock, so informational only.
+	if d, err := loadDoc(args[1]); err == nil && d.SweepFresh != nil && d.SweepPooled != nil && d.SweepPooled.NsPerOp > 0 {
+		fmt.Printf("sweep:       %.0f ns fresh vs %.0f pooled (%.2fx, informational; substrate cache + sim.Pool)\n",
+			d.SweepFresh.NsPerOp, d.SweepPooled.NsPerOp, d.SweepFresh.NsPerOp/d.SweepPooled.NsPerOp)
 	}
 	fmt.Println("benchguard: allocation contract holds")
 	return nil

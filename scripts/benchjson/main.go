@@ -62,7 +62,7 @@ var baseline = run{
 // runs. It is the single source of derived numbers: both fresh
 // measurement and -recompute go through it, so the committed ratio
 // strings can never legitimately disagree with the committed fields.
-func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded *run) {
+func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded, sweepFresh, sweepPooled *run) {
 	doc["improvement"] = map[string]string{
 		"events_per_sec": fmt.Sprintf("%.2fx", flood.EventsPerSec/base.EventsPerSec),
 		"allocs_per_op":  fmt.Sprintf("%.1fx fewer", base.AllocsPerOp/flood.AllocsPerOp),
@@ -82,6 +82,12 @@ func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded
 	if shSerial != nil && sharded != nil {
 		doc["sharded_speedup"] = map[string]string{
 			"events_per_sec": fmt.Sprintf("%.2fx vs serial on the same workload (scales with usable cores; see EXPERIMENTS.md)", sharded.EventsPerSec/shSerial.EventsPerSec),
+		}
+	}
+	if sweepFresh != nil && sweepPooled != nil {
+		doc["sweep_speedup"] = map[string]string{
+			"wall_clock":   fmt.Sprintf("%.2fx faster sweep with cached substrate + pooled Reset", sweepFresh.NsPerOp/sweepPooled.NsPerOp),
+			"bytes_per_op": fmt.Sprintf("%.1fx fewer", sweepFresh.BytesPerOp/sweepPooled.BytesPerOp),
 		}
 	}
 }
@@ -119,7 +125,14 @@ func main() {
 		doc["sharded"] = runs.sharded
 		doc["sharded_workload"] = "flooding on BigFlood(1_000_000 nodes, 10_000_000 edges), DelayMax, WithShards(4)"
 	}
-	derive(doc, &baseline, runs.flood, runs.observed, runs.faulty, runs.shSerial, runs.sharded)
+	if runs.sweepFresh != nil {
+		doc["sweep_fresh"] = runs.sweepFresh
+	}
+	if runs.sweepPooled != nil {
+		doc["sweep_pooled"] = runs.sweepPooled
+		doc["sweep_workload"] = "100-trial flood sweep on RandomConnected(2000, 6000, UniformWeights(64, 21), 21); fresh rebuilds graph+network per trial, pooled shares one substrate and recycles networks via sim.Pool (the `costsense serve` job shape)"
+	}
+	derive(doc, &baseline, runs.flood, runs.observed, runs.faulty, runs.shSerial, runs.sharded, runs.sweepFresh, runs.sweepPooled)
 	emit(doc)
 }
 
@@ -197,18 +210,28 @@ func recompute(args []string) error {
 	if err != nil {
 		return err
 	}
-	derive(doc, base, flood, observed, faulty, shSerial, sharded)
+	sweepFresh, err := pick("sweep_fresh")
+	if err != nil {
+		return err
+	}
+	sweepPooled, err := pick("sweep_pooled")
+	if err != nil {
+		return err
+	}
+	derive(doc, base, flood, observed, faulty, shSerial, sharded, sweepFresh, sweepPooled)
 	emit(doc)
 	return nil
 }
 
 // engineRuns aggregates the averaged benchmark lines by configuration.
 type engineRuns struct {
-	flood    *run
-	observed *run
-	faulty   *run
-	shSerial *run
-	sharded  *run
+	flood       *run
+	observed    *run
+	faulty      *run
+	shSerial    *run
+	sharded     *run
+	sweepFresh  *run
+	sweepPooled *run
 }
 
 // parse averages every recognized BenchmarkEngine* line in r. A line
@@ -220,7 +243,7 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 		run
 		n int
 	}
-	var flood, obs, flt, shs, shp acc
+	var flood, obs, flt, shs, shp, swf, swp acc
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -248,6 +271,10 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 			a = &shs
 		case strings.HasPrefix(f[0], "BenchmarkEngineSharded"):
 			a = &shp
+		case strings.HasPrefix(f[0], "BenchmarkEngineSweepFresh"):
+			a = &swf
+		case strings.HasPrefix(f[0], "BenchmarkEngineSweepPooled"):
+			a = &swp
 		default:
 			continue
 		}
@@ -276,11 +303,13 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 		return &r
 	}
 	runs := &engineRuns{
-		flood:    avg(&flood, "shared 4-ary heap + dense accounting (this tree)"),
-		observed: avg(&obs, "same engine, full metrics observer attached (BenchmarkEngineObserved)"),
-		faulty:   avg(&flt, "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"),
-		shSerial: avg(&shs, "serial engine on the sharded benchmark workload (BenchmarkEngineShardedSerial)"),
-		sharded:  avg(&shp, "sharded engine, WithShards(4), conservative lookahead windows (BenchmarkEngineSharded)"),
+		flood:       avg(&flood, "shared 4-ary heap + dense accounting (this tree)"),
+		observed:    avg(&obs, "same engine, full metrics observer attached (BenchmarkEngineObserved)"),
+		faulty:      avg(&flt, "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"),
+		shSerial:    avg(&shs, "serial engine on the sharded benchmark workload (BenchmarkEngineShardedSerial)"),
+		sharded:     avg(&shp, "sharded engine, WithShards(4), conservative lookahead windows (BenchmarkEngineSharded)"),
+		sweepFresh:  avg(&swf, "100-trial sweep, graph and network rebuilt every trial (BenchmarkEngineSweepFresh)"),
+		sweepPooled: avg(&swp, "100-trial sweep, one shared substrate + pooled network Reset (BenchmarkEngineSweepPooled)"),
 	}
 	return runs, flood.n, nil
 }

@@ -1,0 +1,135 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of `costsense serve`.
+#
+# Builds the binary under the race detector, starts the server, submits
+# the same fig2-style spec twice, waits for both jobs, and asserts the
+# service's core contracts:
+#
+#   1. both jobs complete ("done");
+#   2. the second job's substrate came from the cache
+#      (substrate_cached: true in its STATUS — never in the result);
+#   3. the two result payloads are byte-identical (cache hit vs miss
+#      must not change a single byte);
+#   4. the progress stream terminates with the job's terminal status;
+#   5. a spec overflowing the queue is bounced with 429 + Retry-After;
+#   6. SIGTERM drains and exits 0.
+#
+# Runs locally and in CI's serve-smoke job:
+#
+#   ./scripts/serve_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${SERVE_ADDR:-localhost:18321}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d -t serve_smoke.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "serve_smoke: FAIL: $*" >&2
+	[ -f "$TMP/server.log" ] && sed 's/^/  server: /' "$TMP/server.log" >&2
+	exit 1
+}
+
+echo "== build (race)"
+go build -race -o "$TMP/costsense" ./cmd/costsense
+
+echo "== start server"
+"$TMP/costsense" serve -addr "$ADDR" -queue 2 -drain 60s >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && fail "server did not become healthy"
+	kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+	sleep 0.2
+done
+
+SPEC='{
+  "experiment": "conhybrid",
+  "graph": {"family": "random", "n": 60, "m": 180,
+            "weights": {"kind": "uniform", "max": 32, "seed": 7}, "seed": 7},
+  "delay": "max",
+  "trials": 6,
+  "seed": 1
+}'
+
+submit() {
+	curl -sf -X POST -H 'Content-Type: application/json' -d "$SPEC" "$BASE/api/v1/jobs" |
+		sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p'
+}
+
+wait_done() {
+	# $1 = job id; waits for a terminal state and asserts "done".
+	j=0
+	while :; do
+		state="$(curl -sf "$BASE/api/v1/jobs/$1" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+		case "$state" in
+		done) return 0 ;;
+		failed) fail "job $1 failed: $(curl -sf "$BASE/api/v1/jobs/$1")" ;;
+		esac
+		j=$((j + 1))
+		[ "$j" -gt 300 ] && fail "job $1 did not finish (state: $state)"
+		sleep 0.2
+	done
+}
+
+echo "== submit job twice (cache miss, then hit)"
+ID1="$(submit)"
+[ -n "$ID1" ] || fail "first submission returned no job id"
+wait_done "$ID1"
+ID2="$(submit)"
+[ -n "$ID2" ] || fail "second submission returned no job id"
+wait_done "$ID2"
+
+echo "== assert cache visibility in status only"
+curl -sf "$BASE/api/v1/jobs/$ID1" | grep -q '"substrate_cached": false' ||
+	fail "first job should report substrate_cached: false"
+curl -sf "$BASE/api/v1/jobs/$ID2" | grep -q '"substrate_cached": true' ||
+	fail "second job should report substrate_cached: true"
+HITS="$(curl -sf "$BASE/api/v1/cache" | sed -n 's/.*"hits": \([0-9]*\).*/\1/p')"
+[ "${HITS:-0}" -ge 1 ] || fail "cache reports no hits"
+
+echo "== assert byte-identical results"
+curl -sf "$BASE/api/v1/jobs/$ID1/result" >"$TMP/result1.json"
+curl -sf "$BASE/api/v1/jobs/$ID2/result" >"$TMP/result2.json"
+cmp "$TMP/result1.json" "$TMP/result2.json" ||
+	fail "results differ between cache miss and cache hit"
+grep -q substrate_cached "$TMP/result1.json" &&
+	fail "cache-hit flag leaked into the result payload"
+grep -q '"trials": 6' "$TMP/result1.json" || fail "result does not echo the spec"
+
+echo "== stream a third job"
+ID3="$(submit)"
+curl -sf --max-time 60 "$BASE/api/v1/jobs/$ID3/stream" >"$TMP/stream.ndjson"
+tail -n 1 "$TMP/stream.ndjson" | grep -q '"state":"done"' ||
+	fail "stream did not end with a terminal done status: $(tail -n 1 "$TMP/stream.ndjson")"
+
+echo "== backpressure: overflow the queue"
+# A long job ties up the scheduler; the queue (cap 2) then fills and
+# the next submission must bounce with 429 + Retry-After.
+BIG='{"experiment": "flood", "graph": {"family": "random", "n": 500, "m": 2000}, "trials": 400}'
+curl -sf -X POST -d "$BIG" "$BASE/api/v1/jobs" >/dev/null || fail "long job rejected"
+curl -sf -X POST -d "$BIG" "$BASE/api/v1/jobs" >/dev/null || true
+curl -sf -X POST -d "$BIG" "$BASE/api/v1/jobs" >/dev/null || true
+CODE="$(curl -s -o "$TMP/429.json" -w '%{http_code}' -D "$TMP/429.hdr" -X POST -d "$BIG" "$BASE/api/v1/jobs")"
+[ "$CODE" = "429" ] || fail "expected 429 on a full queue, got $CODE"
+grep -qi '^retry-after:' "$TMP/429.hdr" || fail "429 response lacks Retry-After"
+
+echo "== graceful shutdown on SIGTERM"
+kill -TERM "$SERVER_PID"
+EXIT=0
+wait "$SERVER_PID" || EXIT=$?
+SERVER_PID=""
+[ "$EXIT" -eq 0 ] || fail "server exited $EXIT on SIGTERM (want clean 0)"
+grep -q "drained" "$TMP/server.log" || fail "server log does not mention draining"
+
+echo "serve_smoke: PASS"
