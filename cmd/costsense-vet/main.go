@@ -1,18 +1,33 @@
 // Command costsense-vet runs the project's custom static-analysis
-// suite (internal/analysis) over the module: detmap, detsource,
-// hotpathalloc and arenaref — the compile-time half of the simulator's
-// determinism and allocation-free contracts. It is self-contained on
-// the standard library, so it runs offline with the bare toolchain:
+// suite (internal/analysis) over the module — the compile-time half of
+// the simulator's determinism, allocation-free and concurrency
+// contracts. Nine analyzers: detmap, detsource, hotpathalloc,
+// hotpathtrans, arenaref, shardsync, lockguard, ctxflow and errflow;
+// the last four ride on module-local interprocedural effect summaries
+// (may a callee block, allocate, take a lock, spawn?). It is
+// self-contained on the standard library, so it runs offline with the
+// bare toolchain:
 //
 //	go run ./cmd/costsense-vet ./...
 //	go run ./cmd/costsense-vet ./internal/sim ./internal/pq
+//	go run ./cmd/costsense-vet -audit ./...
 //
 // Diagnostics print as file:line:col: analyzer: message and a nonzero
 // exit status marks the tree dirty; CI runs it as a blocking lint job
 // (scripts/lint.sh locally).
+//
+// -audit switches to inventory mode: instead of diagnostics it prints
+// a byte-deterministic JSON report of every //costsense: suppression
+// and marker directive in the analyzed packages — file, line, verb,
+// justification — flagging stale suppressions (no analyzer consults
+// them any more), missing justifications and unknown verbs, any of
+// which exit 1. The nightly CI job archives the report; diffing two
+// nightlies shows exactly which audited exceptions appeared or
+// disappeared.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -30,6 +45,11 @@ func main() {
 }
 
 func run(args []string) error {
+	audit := false
+	if len(args) > 0 && args[0] == "-audit" {
+		audit = true
+		args = args[1:]
+	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -49,7 +69,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	diags := analysis.Check(loader, pkgs)
+	tracker := analysis.NewTracker()
+	diags := analysis.Check(loader, pkgs, tracker)
+	if audit {
+		return runAudit(loader, pkgs, tracker)
+	}
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -68,6 +92,23 @@ func run(args []string) error {
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// runAudit prints the directive inventory and exits 1 when any
+// directive is stale, unjustified or unknown.
+func runAudit(loader *analysis.Loader, pkgs []*analysis.Package, tracker *analysis.Tracker) error {
+	report := analysis.BuildAudit(loader, pkgs, tracker)
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	if report.Problems() {
+		fmt.Fprintf(os.Stderr, "costsense-vet -audit: %d stale, %d unjustified, %d unknown directive(s)\n",
+			report.Stale, report.Unjustified, report.Unknown)
 		os.Exit(1)
 	}
 	return nil

@@ -122,6 +122,7 @@ func writeArtifact(path, kind string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
+		//costsense:err-ok the write error is the one worth reporting; Close here only releases the fd
 		f.Close()
 		return err
 	}
@@ -156,9 +157,12 @@ func serveDebug(ctx context.Context, addr string) {
 	srv := &http.Server{Addr: addr, Handler: http.DefaultServeMux}
 	go func() {
 		<-ctx.Done()
+		//costsense:ctx-ok grace window: the parent ctx is already cancelled; the 2s budget must outlive it
 		shCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
-		srv.Shutdown(shCtx)
+		if err := srv.Shutdown(shCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "costsense: debug server shutdown:", err)
+		}
 	}()
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "costsense: debug server:", err)

@@ -71,6 +71,7 @@ func main() {
 	}
 }
 
+//costsense:ctx-ok CLI root: the debug listener is the only spawn, and it is cancelled by the deferred stopDebug before run returns
 func run(args []string) error {
 	fs := flag.NewFlagSet("costsense", flag.ContinueOnError)
 	fs.StringVar(&instr.tracePath, "trace", "", "write a Chrome trace_event JSON of one representative run per experiment to `file`")
@@ -97,6 +98,7 @@ func run(args []string) error {
 		// The debug listener lives for the rest of the invocation and is
 		// shut down gracefully (in-flight scrapes finish) when run
 		// returns.
+		//costsense:ctx-ok process root: the CLI has no inherited context; stopDebug is deferred
 		debugCtx, stopDebug := context.WithCancel(context.Background())
 		defer stopDebug()
 		go serveDebug(debugCtx, instr.httpAddr)
@@ -151,7 +153,9 @@ func runOne(e experiment) error {
 	fmt.Printf("== %s: %s\n\n", e.id, e.title)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	e.run(w)
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("%s: writing results: %w", e.id, err)
+	}
 	fmt.Println()
 	return instr.flush()
 }

@@ -20,6 +20,8 @@ import (
 // within -drain, and exits 0. A second signal kills the process
 // immediately (signal.NotifyContext's Stop re-arms the default
 // handler).
+//
+//costsense:ctx-ok subcommand root: the signal context created below is the process's cancellation source
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("costsense serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen `address` for the experiment API")
@@ -34,6 +36,7 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve takes no positional arguments (got %q)", fs.Args())
 	}
 
+	//costsense:ctx-ok process root: SIGINT/SIGTERM are the cancellation source for everything below
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -47,6 +50,7 @@ func runServe(args []string) error {
 	s.Start()
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
+	//costsense:ctx-ok terminates when ListenAndServe returns — guaranteed by the Shutdown below; errCh is buffered so the send never parks
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "costsense: serving experiments on http://%s (POST /api/v1/jobs)\n", *addr)
 
@@ -58,6 +62,7 @@ func runServe(args []string) error {
 	stop() // from here on, a second signal terminates immediately
 	fmt.Fprintf(os.Stderr, "costsense: signal received; draining jobs (deadline %s)\n", *drain)
 
+	//costsense:ctx-ok drain window: the signal ctx is already cancelled; the deadline must outlive it
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	drainErr := s.Drain(shCtx)

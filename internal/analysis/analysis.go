@@ -1,32 +1,51 @@
 // Package analysis is costsense's static-analysis layer: a small,
 // dependency-free analogue of golang.org/x/tools/go/analysis (which is
 // deliberately not vendored — the suite must build offline with the
-// bare toolchain) plus the four project-specific analyzers behind
+// bare toolchain), a module-wide interprocedural effect-summary layer
+// (summary.go), and the nine project-specific analyzers behind
 // cmd/costsense-vet:
 //
 //   - detmap: no map-iteration order may reach deterministic output
-//   - detsource: no wall clock / global RNG / scheduler queries in
-//     simulator and protocol code
+//   - detsource: no wall clock, timers, global RNG or scheduler
+//     queries in simulator and protocol code
 //   - hotpathalloc: //costsense:hotpath functions stay allocation-free
+//   - hotpathtrans: ...including through every module-local callee,
+//     judged by the callee's effect summary
 //   - arenaref: protocol handlers must not retain arena messages
+//   - shardsync: cross-shard state only under a declared barrier
+//   - lockguard: no blocking op or nested acquisition while a mutex is
+//     held; every lock released on all paths
+//   - ctxflow (serve/harness/cmd only): detached contexts only at
+//     audited roots, goroutines need a termination path, blocking or
+//     spawning functions must be able to observe cancellation
+//   - errflow: no silently discarded error results
 //
 // The simulator's contract — byte-identical Stats for a fixed seed,
 // zero allocations per delivered event — is what makes the paper's
 // c_π/t_π measurements trustworthy; these analyzers move that contract
-// from golden tests into the compile loop. See DESIGN.md, "Static
+// from golden tests into the compile loop, and the v2 set extends it
+// to the experiment service's concurrency. See DESIGN.md, "Static
 // analysis & invariants".
 //
 // # Annotation contract
 //
-//   - `//costsense:hotpath` in a function's doc comment opts the
-//     function into hotpathalloc checking.
-//   - `//costsense:nondet-ok <why>` on (or directly above) a flagged
-//     line suppresses detmap/detsource after a human audit.
-//   - `//costsense:alloc-ok <why>` likewise suppresses hotpathalloc.
-//   - `//costsense:retain-ok <why>` likewise suppresses arenaref.
+// Suppressions silence one finding at one line, after a human audit,
+// when placed on or directly above the flagged line:
+//
+//   - `//costsense:nondet-ok <why>` — detmap, detsource
+//   - `//costsense:alloc-ok <why>` — hotpathalloc, hotpathtrans
+//   - `//costsense:retain-ok <why>` — arenaref
+//   - `//costsense:shard-ok <why>` — shardsync
+//   - `//costsense:lock-ok <why>` — lockguard
+//   - `//costsense:ctx-ok <why>` — ctxflow
+//   - `//costsense:err-ok <why>` — errflow
 //
 // A suppression must carry a justification; bare directives are
-// themselves reported.
+// themselves reported. Markers change what is checked instead of
+// silencing a check: `//costsense:hotpath` opts a function into the
+// allocation analyzers, `//costsense:shardbarrier <why>` declares a
+// cross-shard quiescence proof. The -audit mode (audit.go) inventories
+// every directive and fails on stale or unjustified ones.
 package analysis
 
 import (
@@ -53,7 +72,12 @@ type Analyzer struct {
 	// root package, internal/..., and cmd/...): examples and scripts
 	// may print maps in any order they like.
 	Scoped bool
-	Run    func(*Pass)
+	// Match, when non-nil, further restricts the analyzer to packages
+	// it approves (ctxflow covers only the long-lived concurrent
+	// layers: internal/serve, internal/harness, cmd). Applied by Check;
+	// direct Run calls (the analysistest harness) bypass it.
+	Match func(modulePath, importPath string) bool
+	Run   func(*Pass)
 }
 
 // Diagnostic is one finding, positioned for a file:line:col report.
@@ -67,14 +91,45 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
+// Tracker records which suppression directives were consulted by any
+// analyzer (or by the summary layer) during a run. The -audit mode
+// uses it to flag stale directives: a suppression nothing consults no
+// longer suppresses anything and should be deleted.
+type Tracker struct {
+	used map[string]bool // "filename\x00line\x00verb"
+}
+
+// NewTracker returns an empty usage tracker.
+func NewTracker() *Tracker { return &Tracker{used: make(map[string]bool)} }
+
+func trackerKey(file string, line int, verb string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", file, line, verb)
+}
+
+func (t *Tracker) record(file string, line int, verb string) {
+	if t != nil {
+		t.used[trackerKey(file, line, verb)] = true
+	}
+}
+
+// Used reports whether any check consulted the directive at file:line.
+func (t *Tracker) Used(file string, line int, verb string) bool {
+	return t != nil && t.used[trackerKey(file, line, verb)]
+}
+
 // Pass carries one analyzer's run over one package and collects its
 // diagnostics, applying line-level suppression directives.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Sum holds the module-local interprocedural summaries (summary.go)
+	// for the analyzers that consult callee effects (lockguard, ctxflow,
+	// hotpathtrans). Populated by Check and RunWith.
+	Sum *Summaries
 
 	diags      []Diagnostic
 	directives map[string]map[int][]directive // filename -> line -> directives
+	tracker    *Tracker
 }
 
 // directive is one parsed //costsense: comment.
@@ -132,12 +187,15 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// directiveNear finds a verb directive on pos's line or the line above.
+// directiveNear finds a verb directive on pos's line or the line
+// above, recording the hit with the pass's tracker (consulted
+// directives are not stale, whatever the audit verdict).
 func (p *Pass) directiveNear(pos token.Position, verb string) (directive, bool) {
 	byLine := p.directives[pos.Filename]
 	for _, line := range [...]int{pos.Line, pos.Line - 1} {
 		for _, d := range byLine[line] {
 			if d.verb == verb {
+				p.tracker.record(pos.Filename, line, verb)
 				return d, true
 			}
 		}
@@ -245,9 +303,20 @@ func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
 	})
 }
 
-// Run executes a over pkg and returns its diagnostics.
+// Run executes a over pkg and returns its diagnostics, computing the
+// package's own interprocedural summaries first (the analysistest
+// entry point: testdata packages are self-contained).
 func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	return RunWith(a, pkg, ComputeSummaries([]*Package{pkg}, nil), nil)
+}
+
+// RunWith executes a over pkg with shared summaries and an optional
+// directive-usage tracker (Check's entry point: summaries span every
+// loaded package, so callee effects cross package boundaries).
+func RunWith(a *Analyzer, pkg *Package, sum *Summaries, tr *Tracker) []Diagnostic {
 	pass := NewPass(a, pkg)
+	pass.Sum = sum
+	pass.tracker = tr
 	a.Run(pass)
 	return pass.Diagnostics()
 }

@@ -39,9 +39,15 @@ var randConstructors = map[string]bool{
 // forbiddenFuncs maps package path -> function name -> diagnostic.
 var forbiddenFuncs = map[string]map[string]string{
 	"time": {
-		"Now":   "time.Now reads the wall clock; simulated time is ctx.Now()",
-		"Since": "time.Since reads the wall clock; simulated time is ctx.Now()",
-		"Until": "time.Until reads the wall clock; simulated time is ctx.Now()",
+		"Now":       "time.Now reads the wall clock; simulated time is ctx.Now()",
+		"Since":     "time.Since reads the wall clock; simulated time is ctx.Now()",
+		"Until":     "time.Until reads the wall clock; simulated time is ctx.Now()",
+		"Sleep":     "time.Sleep stalls on the wall clock; simulated delay is a scheduled event",
+		"After":     "time.After fires on the wall clock; simulated delay is a scheduled event",
+		"Tick":      "time.Tick fires on the wall clock (and leaks its ticker); simulated delay is a scheduled event",
+		"NewTicker": "time.NewTicker fires on the wall clock; simulated delay is a scheduled event",
+		"NewTimer":  "time.NewTimer fires on the wall clock; simulated delay is a scheduled event",
+		"AfterFunc": "time.AfterFunc fires on the wall clock; simulated delay is a scheduled event",
 	},
 	"runtime": {
 		"GOMAXPROCS":   "runtime.GOMAXPROCS varies across hosts; results must not depend on worker count",

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Errflow flags call statements that silently discard an error result.
+// In the serve layer a dropped Encode or Write error means a client
+// saw a truncated response and the server never noticed; in the
+// harness it means a lost worker failure. A site where the error is
+// genuinely uninteresting — a best-effort write to a client that
+// already hung up, a Shutdown racing process exit — is audited with
+// `//costsense:err-ok <why>` so the decision is visible in -audit.
+//
+// The check is syntactic and local: only ExprStmt and DeferStmt calls
+// whose callee's final result is of type error are flagged. Three
+// writer families are exempt:
+//
+//   - writers documented never to fail: *bytes.Buffer,
+//     *strings.Builder, hash.Hash implementations;
+//   - the fmt print family on os.Stdout / os.Stderr (CLI chatter,
+//     checked nowhere in Go; a full pipe is not a failure the driver
+//     can handle);
+//   - writes through sticky-error writers (*bufio.Writer,
+//     *text/tabwriter.Writer), whose contract is "write freely, check
+//     Flush" — their Flush is NOT exempt, so the one real check is
+//     still demanded.
+//
+// fmt.Fprint to any other writer — a network stream, a file — is
+// flagged.
+var Errflow = &Analyzer{
+	Name:     "errflow",
+	Doc:      "flags statement-level calls that discard an error result",
+	Suppress: "err-ok",
+	Scoped:   true,
+	Run:      runErrflow,
+}
+
+func runErrflow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				// The spawned call's results are unobservable by
+				// construction; flagging `go f()` would demand a wrapper
+				// at every spawn. ctxflow owns goroutine discipline.
+				call = nil
+			}
+			if call == nil {
+				return true
+			}
+			checkErrflowCall(pass, call)
+			return true
+		})
+	}
+}
+
+func checkErrflowCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return // function values, builtins, conversions: no signature to trust
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	if errflowExempt(pass, call, fn, sig) {
+		return
+	}
+	// Method calls: classify by the receiver expression's static type
+	// (the declared receiver of an interface method is the embedding
+	// interface — hash.Hash64's Write resolves to io.Writer's).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if exemptWriterType(pass.TypeOf(sel.X)) {
+			return
+		}
+	}
+	pass.Report(call.Pos(), "result of %s includes an error that is discarded; handle it, or audit with %serr-ok <why>",
+		fn.Name(), Directive)
+}
+
+// errflowExempt lists callees whose returned error is an interface
+// obligation, not a real failure mode.
+func errflowExempt(pass *Pass, call *ast.CallExpr, fn *types.Func, sig *types.Signature) bool {
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true // the process streams
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) == 0 {
+				return false
+			}
+			t := pass.TypeOf(call.Args[0])
+			return isStdStream(pass, call.Args[0]) || isStickyWriter(t) || exemptWriterType(t)
+		}
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if named, ok := derefNamed(t); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			switch pkg.Path() + "." + obj.Name() {
+			case "bytes.Buffer", "strings.Builder":
+				return true // documented never to return an error
+			}
+			if pkg.Path() == "hash" || strings.HasPrefix(pkg.Path(), "hash/") {
+				return true // hash.Hash Write never fails
+			}
+		}
+	}
+	// Writes into a sticky-error writer defer their failure to Flush.
+	return fn.Name() != "Flush" && isStickyWriter(t)
+}
+
+// derefNamed unwraps one pointer level and returns the named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+// isStickyWriter reports whether t is (a pointer to) a buffered
+// writer whose errors are latched and reported by Flush.
+func isStickyWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bufio.Writer", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// exemptWriterType reports whether t is a never-fails writer judged by
+// its own name: *bytes.Buffer, *strings.Builder, or any type declared
+// in the hash packages (their Write is documented error-free).
+func exemptWriterType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := derefNamed(t)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return obj.Pkg().Path() == "hash" || strings.HasPrefix(obj.Pkg().Path(), "hash/")
+}
+
+// isStdStream reports whether e denotes os.Stdout or os.Stderr.
+func isStdStream(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil
+}

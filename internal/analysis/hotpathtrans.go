@@ -1,0 +1,69 @@
+package analysis
+
+import "go/ast"
+
+// Hotpathtrans extends hotpathalloc across call edges: a
+// //costsense:hotpath function may not call a module-local callee
+// whose transitive effect summary allocates — even though the callee
+// itself is not marked hotpath and so passes hotpathalloc. Without
+// this, the zero-alloc contract silently erodes one helper at a time:
+// the hot function stays clean under the intraprocedural check while
+// its callees regrow the garbage.
+//
+// Callees that are themselves marked hotpath are skipped (hotpathalloc
+// already proves them allocation-free); allocation sites audited with
+// alloc-ok are excluded from summaries by construction (summary.go),
+// so an audited cold path never poisons its callers. The diagnostic
+// names the allocation witness — the bottom-most callee that actually
+// allocates — so the report points at the fix, not the symptom.
+var Hotpathtrans = &Analyzer{
+	Name:     "hotpathtrans",
+	Doc:      "flags hotpath functions whose module-local callees transitively allocate",
+	Suppress: "alloc-ok",
+	Scoped:   true,
+	Run:      runHotpathtrans,
+}
+
+func runHotpathtrans(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotpathtransFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathtransFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			// Closures and spawned goroutines are outside the caller's
+			// hot path (matching hotpathalloc's own scoping).
+			return false
+		case *ast.CallExpr:
+			checkHotpathtransCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkHotpathtransCall(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	sum := pass.Sum.Of(fn)
+	if sum == nil || sum.Hotpath || sum.All&EffAllocates == 0 {
+		return
+	}
+	if witness := pass.Sum.AllocWitness(fn); witness != nil && witness != fn {
+		pass.Report(call.Pos(), "call to %s allocates on the hot path (via %s); mark the callee %shotpath and fix it, or audit with %salloc-ok <why>",
+			fn.Name(), witness.Name(), Directive, Directive)
+		return
+	}
+	pass.Report(call.Pos(), "call to %s allocates on the hot path; mark the callee %shotpath and fix it, or audit with %salloc-ok <why>",
+		fn.Name(), Directive, Directive)
+}

@@ -179,6 +179,27 @@ func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
+// Loaded returns every module-internal package the loader has loaded —
+// requested packages plus their module-internal imports — sorted by
+// import path. The summary layer computes effect summaries over this
+// closure so callee effects resolve even when costsense-vet is run on
+// a subset of packages.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	//costsense:nondet-ok collects keys only; sorted immediately below
+	for path, pkg := range l.pkgs {
+		if pkg != nil {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkgs = append(pkgs, l.pkgs[path])
+	}
+	return pkgs
+}
+
 // PackageDirs walks the module tree and returns the directories that
 // contain buildable Go files, relative to the module root, in sorted
 // order. testdata, examples of other modules, hidden and underscore

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Lockguard enforces the lock discipline of the serve/harness layer:
+// while a sync.Mutex or RWMutex is held, the goroutine must not park
+// or stall — no channel send/receive, no select without default, no
+// time.Sleep or Wait, no stream I/O (a slow HTTP client would extend
+// the critical section indefinitely), and no call to a module-local
+// callee whose summary says it blocks or takes another lock (nested
+// acquisition is a lock-ordering hazard: the inner Lock can park the
+// goroutine while the outer one starves every other caller). It also
+// requires every acquired lock to be released somewhere in the same
+// function — an Unlock or defer Unlock on the same lock expression.
+//
+// The check is intraprocedural over a syntactic held-set (Lock adds,
+// Unlock removes, defer Unlock holds to function end; branches are
+// scanned with a copy and the straight-line set continues after them),
+// with callee effects supplied by the interprocedural summaries
+// (summary.go). Genuinely non-blocking calls under a lock — a bounded
+// TrySubmit whose admission must be atomic with bookkeeping — are
+// audited with `//costsense:lock-ok <why>`.
+var Lockguard = &Analyzer{
+	Name:     "lockguard",
+	Doc:      "flags blocking operations and nested acquisition while a mutex is held, and unreleased locks",
+	Suppress: "lock-ok",
+	Scoped:   true,
+	Run:      runLockguard,
+}
+
+func runLockguard(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockguardFunc(pass, fd)
+		}
+	}
+}
+
+// lockOp classifies a statement-level call as a lock acquisition or
+// release on a concrete lock expression ("s.mu").
+type lockOp struct {
+	key     string
+	pos     token.Pos
+	acquire bool
+}
+
+func (p *Pass) lockOpOf(call *ast.CallExpr) (lockOp, bool) {
+	fn := p.CalleeFunc(call)
+	if fn == nil {
+		return lockOp{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch {
+	case isMutexAcquire(fn):
+		return lockOp{key: exprString(sel.X), pos: call.Pos(), acquire: true}, true
+	case isMutexRelease(fn):
+		return lockOp{key: exprString(sel.X), pos: call.Pos()}, true
+	}
+	return lockOp{}, false
+}
+
+func checkLockguardFunc(pass *Pass, fd *ast.FuncDecl) {
+	g := &lockScan{pass: pass, fd: fd, released: make(map[string]bool)}
+	// Pre-pass: which lock keys does the function ever release
+	// (explicitly or by defer)? Used for the leak check.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if op, ok := pass.lockOpOf(call); ok && !op.acquire {
+			g.released[op.key] = true
+		}
+		return true
+	})
+	g.scanStmts(fd.Body.List, map[string]token.Pos{})
+	for _, leak := range g.leaks {
+		pass.Report(leak.pos, "%s is locked in %s but never released on any path (add an Unlock or defer, or audit with %slock-ok <why>)",
+			leak.key, fd.Name.Name, Directive)
+	}
+}
+
+type lockScan struct {
+	pass     *Pass
+	fd       *ast.FuncDecl
+	released map[string]bool
+	leaks    []lockOp
+}
+
+// scanStmts walks a statement list tracking the held-lock set. Nested
+// control flow is scanned with a copy of the set — an unlock inside a
+// branch does not clear the straight-line path (conservative: a
+// maybe-held lock still forbids blocking).
+func (g *lockScan) scanStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		g.scanStmt(stmt, held)
+	}
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	//costsense:nondet-ok set copy; iteration order cannot reach any output
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (g *lockScan) scanStmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if op, ok := g.pass.lockOpOf(call); ok {
+				if op.acquire {
+					g.acquire(op, held)
+				} else {
+					delete(held, op.key)
+				}
+				// The Lock/Unlock call itself is never a finding; its
+				// arguments cannot block.
+				return
+			}
+		}
+		g.checkBlocking(s, held)
+	case *ast.DeferStmt:
+		if op, ok := g.pass.lockOpOf(s.Call); ok && !op.acquire {
+			// defer x.Unlock(): released at return; the lock stays held
+			// for the rest of the body, so blocking checks continue.
+			return
+		}
+		// Other deferred calls run at return, commonly after unlock
+		// ordering games; argument evaluation happens now but cannot
+		// block. Skip.
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			g.report(s.Pos(), "channel send", held)
+		}
+		g.checkBlocking(s, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			g.scanStmt(s.Init, held)
+		}
+		g.checkBlocking(s.Cond, held)
+		g.scanStmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			g.scanStmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		g.scanStmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			g.scanStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			g.checkBlocking(s.Cond, held)
+		}
+		g.scanStmts(s.Body.List, cloneHeld(held))
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t := g.pass.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					g.report(s.Pos(), "range over channel", held)
+				}
+			}
+		}
+		g.checkBlocking(s.X, held)
+		g.scanStmts(s.Body.List, cloneHeld(held))
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			if len(held) > 0 {
+				g.report(s.Pos(), "select without default", held)
+			}
+		}
+		for _, c := range s.Body.List {
+			g.scanStmts(c.(*ast.CommClause).Body, cloneHeld(held))
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			g.scanStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			g.checkBlocking(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			g.scanStmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			g.scanStmts(c.(*ast.CaseClause).Body, cloneHeld(held))
+		}
+	case *ast.LabeledStmt:
+		g.scanStmt(s.Stmt, held)
+	case *ast.GoStmt:
+		// Spawning never blocks; the goroutine's body runs elsewhere
+		// (ctxflow owns its termination story).
+	case *ast.ReturnStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt:
+		g.checkBlocking(stmt, held)
+	default:
+		g.checkBlocking(stmt, held)
+	}
+}
+
+func (g *lockScan) acquire(op lockOp, held map[string]token.Pos) {
+	if len(held) > 0 {
+		for _, outer := range heldKeys(held) {
+			if outer != op.key {
+				g.pass.Report(op.pos, "%s is acquired while %s is held; nested locking can park this goroutine and starve %s's other critical sections (reorder, or audit with %slock-ok <why>)",
+					op.key, outer, outer, Directive)
+				break
+			}
+		}
+		if _, dup := held[op.key]; dup {
+			g.pass.Report(op.pos, "%s is locked twice on the same path; sync mutexes are not reentrant", op.key)
+		}
+	}
+	held[op.key] = op.pos
+	if !g.released[op.key] {
+		g.leaks = append(g.leaks, op)
+	}
+}
+
+// checkBlocking walks an expression/statement (closures and spawned
+// goroutines excluded) and reports blocking constructs while any lock
+// is held.
+func (g *lockScan) checkBlocking(n ast.Node, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				g.report(m.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			g.checkCall(m, held)
+		}
+		return true
+	})
+}
+
+func (g *lockScan) checkCall(call *ast.CallExpr, held map[string]token.Pos) {
+	fn := g.pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	if eff, label, ok := stdlibCallClass(g.pass.Pkg, call, fn); ok && eff.Blocks() {
+		g.report(call.Pos(), label, held)
+		return
+	}
+	if isMutexAcquire(fn) || isMutexRelease(fn) {
+		return // handled at statement level; expression-position locks are rare and benign
+	}
+	if sum := g.pass.Sum.Of(fn); sum != nil {
+		switch {
+		case sum.All.Blocks():
+			g.report(call.Pos(), "call to "+fn.Name()+" (summary: "+sum.All.String()+")", held)
+		case sum.All&EffAcquires != 0:
+			g.report(call.Pos(), "call to "+fn.Name()+" which acquires another lock", held)
+		}
+	}
+}
+
+func (g *lockScan) report(pos token.Pos, what string, held map[string]token.Pos) {
+	keys := heldKeys(held)
+	g.pass.Report(pos, "%s while %s is held can stall every other critical section (move it outside the lock, or audit with %slock-ok <why>)",
+		what, keys[0], Directive)
+}
+
+// heldKeys returns the held lock names sorted for deterministic
+// diagnostics.
+func heldKeys(held map[string]token.Pos) []string {
+	keys := make([]string, 0, len(held))
+	//costsense:nondet-ok keys are sorted below before any output
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

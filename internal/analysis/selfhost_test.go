@@ -39,7 +39,7 @@ func TestSelfHost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range analysis.Check(loader, pkgs) {
+	for _, d := range analysis.Check(loader, pkgs, nil) {
 		t.Errorf("costsense-vet finding: %s", d)
 	}
 }

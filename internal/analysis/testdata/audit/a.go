@@ -1,0 +1,20 @@
+// Package audittest is fodder for TestAuditProblems: it plants one
+// directive of each problem class — a stale suppression (nothing here
+// triggers detsource, so no analyzer consults it), an unjustified bare
+// suppression, an unknown verb — plus one healthy justified marker.
+package audittest
+
+func quiet() int {
+	//costsense:nondet-ok this excuse outlived the finding it silenced
+	a := 1
+	//costsense:alloc-ok
+	b := 2
+	//costsense:frobnicate not a verb costsense-vet knows
+	c := 3
+	return a + b + c
+}
+
+// barrier is a healthy, justified marker: inventoried, never stale.
+//
+//costsense:shardbarrier test: all workers joined on the line above
+func barrier() { quiet() }

@@ -37,3 +37,23 @@ func Audited() int {
 func Elapsed(a, b time.Time) time.Duration {
 	return b.Sub(a)
 }
+
+// Timers exercises the wall-clock timer family: real delays have no
+// place in simulated time.
+func Timers() {
+	time.Sleep(time.Millisecond)                 // want "time.Sleep stalls on the wall clock"
+	<-time.After(time.Millisecond)               // want "time.After fires on the wall clock"
+	tk := time.NewTicker(time.Second)            // want "time.NewTicker fires on the wall clock"
+	tm := time.NewTimer(time.Second)             // want "time.NewTimer fires on the wall clock"
+	af := time.AfterFunc(time.Second, func() {}) // want "time.AfterFunc fires on the wall clock"
+	tk.Stop()
+	tm.Stop()
+	af.Stop()
+}
+
+// AuditedTicker is the serve-layer idiom: a stream-emission cadence
+// that is wall-clock by design and never feeds result bytes.
+func AuditedTicker() *time.Ticker {
+	//costsense:nondet-ok emission cadence only; payloads are deterministic
+	return time.NewTicker(time.Second)
+}

@@ -1,0 +1,71 @@
+// Package errflowtest exercises the errflow analyzer: statement-level
+// calls that discard an error result are flagged; assignments, CLI
+// chatter on the process streams, never-fail writers, sticky-error
+// writes and audited lines stay quiet.
+package errflowtest
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+// Discards drops errors on the floor.
+func Discards(w io.Writer, enc *json.Encoder) {
+	mayFail()       // want "result of mayFail includes an error that is discarded"
+	defer mayFail() // want "result of mayFail includes an error that is discarded"
+	w.Write(nil)    // want "result of Write includes an error that is discarded"
+	enc.Encode(nil) // want "result of Encode includes an error that is discarded"
+	fmt.Fprintln(w) // want "result of Fprintln includes an error that is discarded"
+}
+
+// Handles consumes every error it is given.
+func Handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // an explicit discard is a decision, not an accident
+	return nil
+}
+
+// Chatter writes to the process streams: checked nowhere in Go.
+func Chatter() {
+	fmt.Println("hello")
+	fmt.Fprintln(os.Stderr, "hello")
+	fmt.Fprintf(os.Stdout, "%d\n", 1)
+}
+
+// NeverFails writes into in-memory and hash sinks documented not to
+// return errors.
+func NeverFails() {
+	var buf bytes.Buffer
+	buf.WriteString("x")
+	fmt.Fprintln(&buf, "y")
+	var sb strings.Builder
+	sb.WriteByte('z')
+	h := fnv.New64a()
+	h.Write([]byte("w"))
+}
+
+// Sticky writes through a bufio.Writer: errors are latched and
+// surface at Flush, which must still be checked.
+func Sticky(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("x")
+	fmt.Fprintln(bw, "y")
+	bw.Flush() // want "result of Flush includes an error that is discarded"
+	return bw.Flush()
+}
+
+// Audited carries a justified err-ok.
+func Audited(w io.Writer) {
+	//costsense:err-ok test: the peer hung up; there is no one left to tell
+	w.Write(nil)
+}

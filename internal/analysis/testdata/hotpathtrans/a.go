@@ -1,0 +1,65 @@
+// Package hotpathtranstest exercises the hotpathtrans analyzer: a
+// //costsense:hotpath function calling a module-local callee whose
+// summary allocates — directly or further down — is flagged with the
+// allocation witness; hotpath callees, audited calls and callees whose
+// only allocations are themselves audited stay quiet.
+package hotpathtranstest
+
+// allocLeaf is the bottom of the allocating chain.
+func allocLeaf(n int) map[int]int {
+	return make(map[int]int, n)
+}
+
+// middle does not allocate itself; it inherits allocLeaf's effect.
+func middle(n int) int {
+	return len(allocLeaf(n))
+}
+
+// direct allocates in its own body.
+func direct(n int) []int {
+	return append([]int(nil), n)
+}
+
+// audited's only allocation carries an alloc-ok audit, so its summary
+// is clean and callers are not poisoned.
+func audited(n int) int {
+	//costsense:alloc-ok test: audited cold path; excused transitively by design
+	m := make(map[int]int, n)
+	return len(m)
+}
+
+// sum is pure.
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// fastLeaf is itself hotpath-checked, so transitive checking skips it.
+//
+//costsense:hotpath
+func fastLeaf(xs []int) int {
+	return len(xs)
+}
+
+// Hot is the checked caller.
+//
+//costsense:hotpath
+func Hot(xs []int) int {
+	t := sum(xs)      // pure callee: clean
+	t += fastLeaf(xs) // hotpath callee: hotpathalloc's job, not ours
+	t += audited(len(xs))
+	t += middle(len(xs)) // want "call to middle allocates on the hot path" "via allocLeaf"
+	t += len(direct(t))  // want "call to direct allocates on the hot path"
+	return t
+}
+
+// HotAudited suppresses the transitive finding with a justification.
+//
+//costsense:hotpath
+func HotAudited(xs []int) int {
+	//costsense:alloc-ok test: cold fallback taken once per run
+	return middle(len(xs))
+}

@@ -1,0 +1,144 @@
+// Package lockguardtest exercises the lockguard analyzer: blocking
+// operations, nested acquisition and unreleased locks inside mutex
+// critical sections are flagged; non-blocking sections, defer-released
+// locks and audited lines stay quiet.
+package lockguardtest
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	mu    sync.Mutex
+	other sync.Mutex
+	ch    = make(chan int)
+	done  = make(chan struct{})
+)
+
+// SendUnderLock parks on a channel send inside the critical section.
+func SendUnderLock() {
+	mu.Lock()
+	ch <- 1 // want "channel send while mu is held"
+	mu.Unlock()
+}
+
+// ReceiveUnderLock parks on a receive.
+func ReceiveUnderLock() {
+	mu.Lock()
+	<-ch // want "channel receive while mu is held"
+	mu.Unlock()
+}
+
+// SelectUnderLock parks on a select with no default.
+func SelectUnderLock() {
+	mu.Lock()
+	select { // want "select without default while mu is held"
+	case <-done:
+	case v := <-ch:
+		_ = v
+	}
+	mu.Unlock()
+}
+
+// SleepUnderLock stalls the critical section on the wall clock.
+func SleepUnderLock() {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while mu is held"
+	mu.Unlock()
+}
+
+// blocker's summary carries the blocking effect lockguard sees at the
+// call site.
+func blocker() {
+	<-done
+}
+
+// CallsBlocker blocks two frames deep: the summary crosses the call.
+func CallsBlocker() {
+	mu.Lock()
+	defer mu.Unlock()
+	blocker() // want "call to blocker"
+}
+
+// locksOther acquires a second mutex; calling it under mu is a nested
+// acquisition by summary.
+func locksOther() {
+	other.Lock()
+	other.Unlock()
+}
+
+// NestedBySummary acquires other inside mu's critical section through
+// a callee.
+func NestedBySummary() {
+	mu.Lock()
+	locksOther() // want "call to locksOther which acquires another lock"
+	mu.Unlock()
+}
+
+// NestedDirect acquires two locks on the same path.
+func NestedDirect() {
+	mu.Lock()
+	other.Lock() // want "other is acquired while mu is held"
+	other.Unlock()
+	mu.Unlock()
+}
+
+// DoubleLock re-locks a non-reentrant mutex.
+func DoubleLock() {
+	mu.Lock()
+	mu.Lock() // want "mu is locked twice on the same path"
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// Leak never releases what it takes.
+func Leak() {
+	mu.Lock() // want "mu is locked in Leak but never released on any path"
+}
+
+// Audited carries a justified lock-ok for a summarized acquisition —
+// the serve-layer TrySubmit idiom.
+func Audited() {
+	mu.Lock()
+	//costsense:lock-ok admission must be atomic with bookkeeping; callee never parks
+	locksOther()
+	mu.Unlock()
+}
+
+// CleanDefer is the normal idiom: defer-released lock, straight-line
+// non-blocking body.
+func CleanDefer() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// CleanTryRecv uses select-with-default: never parks, stays quiet.
+func CleanTryRecv() int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// CleanAfterUnlock blocks only after the lock is gone.
+func CleanAfterUnlock() {
+	mu.Lock()
+	mu.Unlock()
+	<-ch
+}
+
+// CleanGoroutine spawns under the lock; the spawn itself never parks
+// (the goroutine's body is ctxflow's concern, not lockguard's).
+func CleanGoroutine() {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() {
+		<-done
+	}()
+}

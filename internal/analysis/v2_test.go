@@ -1,0 +1,47 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"costsense/internal/analysis"
+	"costsense/internal/analysis/analysistest"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, analysis.Lockguard, "lockguard")
+}
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow, "ctxflow")
+}
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, analysis.Errflow, "errflow")
+}
+
+func TestHotpathtrans(t *testing.T) {
+	analysistest.Run(t, analysis.Hotpathtrans, "hotpathtrans")
+}
+
+// TestCtxflowMatch pins ctxflow's package filter: it covers only the
+// long-lived concurrent layers (serve, harness, cmd), not the
+// deterministic core, where context plumbing would be noise.
+func TestCtxflowMatch(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"costsense/internal/serve", true},
+		{"costsense/internal/harness", true},
+		{"costsense/cmd/costsense", true},
+		{"costsense/cmd/costsense-vet", true},
+		{"costsense/internal/sim", false},
+		{"costsense/internal/graph", false},
+		{"costsense", false},
+	}
+	for _, c := range cases {
+		if got := analysis.Ctxflow.Match("costsense", c.path); got != c.want {
+			t.Errorf("ctxflow.Match(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -135,6 +135,7 @@ func PrimTree(g *Graph, root NodeID) *Tree {
 		parent[it.v] = it.from
 		add(it.v)
 	}
+	//costsense:alloc-ok one tree per call, built after the extraction loop finishes
 	return NewTree(g, root, parent)
 }
 

@@ -56,6 +56,7 @@ func workerCount(procs, n int) int {
 // nil sink adds no overhead. The sink observes scheduling (completion
 // order, wall time); the returned results are identical to RunIndexed.
 func RunIndexedObserved[T any](n int, fn func(int) (T, error), sink Sink) ([]T, error) {
+	//costsense:ctx-ok compat wrapper: non-cancellable callers run every trial to completion by design
 	return RunIndexedPooled(context.Background(), n, nil,
 		func(_ context.Context, _ struct{}, i int) (T, error) { return fn(i) }, sink)
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -88,6 +89,47 @@ func TestQueueRunCancel(t *testing.T) {
 	}
 	if got := ran.Load(); got != 1 {
 		t.Fatalf("%d jobs ran after cancel, want 1 (the in-flight one)", got)
+	}
+}
+
+// TestQueueCloseSubmitRace: Close racing concurrent TrySubmits from
+// many goroutines must never panic (an unsynchronized close of the
+// jobs channel concurrent with a send would) and must leave every
+// later submission rejected with ErrQueueClosed. Under -race — the
+// nightly CI mode — this also proves the admission path is properly
+// synchronized against shutdown.
+func TestQueueCloseSubmitRace(t *testing.T) {
+	q := NewQueue(4)
+	runDone := make(chan struct{})
+	go func() { q.Run(context.Background()); close(runDone) }()
+
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				err := q.TrySubmit(func(context.Context) { admitted.Add(1) })
+				if errors.Is(err, ErrQueueClosed) {
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond) // let submitters and consumer overlap
+	q.Close()
+	wg.Wait()
+	select {
+	case <-runDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after close+drain")
+	}
+	if err := q.TrySubmit(func(context.Context) {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("submit after close: err = %v, want ErrQueueClosed", err)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no job was ever admitted; the race never happened")
 	}
 }
 

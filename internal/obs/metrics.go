@@ -108,6 +108,7 @@ func (m *Metrics) classID(c sim.Class) int {
 	if id, ok := m.classIdx[c]; ok {
 		return id
 	}
+	//costsense:alloc-ok interning cold path: runs once per class over a whole run, not per event
 	return m.addClass(c)
 }
 

@@ -89,6 +89,7 @@ func (p *Progress) TrialDone(index, done, total int) {
 		return
 	}
 	if final {
+		//costsense:err-ok best-effort progress line; a broken stderr must not fail the sweep
 		fmt.Fprintf(p.w, "%s: %d trials in %s (avg %s/trial, max %s)\n",
 			p.label, total, round(elapsed), round(avg), round(maxT))
 		return
@@ -97,6 +98,7 @@ func (p *Progress) TrialDone(index, done, total int) {
 	if done > 0 {
 		eta = time.Duration(float64(elapsed) / float64(done) * float64(total-done))
 	}
+	//costsense:err-ok best-effort progress line; a broken stderr must not fail the sweep
 	fmt.Fprintf(p.w, "%s: %d/%d trials (%.0f%%), avg %s/trial, ETA %s\n",
 		p.label, done, total, 100*float64(done)/float64(total), round(avg), round(eta))
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,13 +45,30 @@ type Job struct {
 	cached     atomic.Bool // substrate came from the cache (set at start)
 	trialsDone atomic.Int64
 
+	// Lifecycle timestamps (wall-clock unix nanos), status-only: they
+	// describe scheduling history, never experiment output, so result
+	// bytes stay deterministic. Atomics because the scheduler goroutine
+	// writes while handlers read.
+	submittedAt atomic.Int64
+	startedAt   atomic.Int64
+	finishedAt  atomic.Int64
+
 	finished chan struct{} // closed after result/errMsg are set
 	result   []byte        // final Result JSON (nil if failed)
 	errMsg   string
 }
 
+// nowUnixNano reads the wall clock for job lifecycle timestamps — the
+// one sanctioned wall-clock source in this package.
+func nowUnixNano() int64 {
+	//costsense:nondet-ok job lifecycle timestamps are status telemetry; they never reach result bytes
+	return time.Now().UnixNano()
+}
+
 func newJob(id string, spec Spec) *Job {
-	return &Job{id: id, spec: spec, finished: make(chan struct{})}
+	j := &Job{id: id, spec: spec, finished: make(chan struct{})}
+	j.submittedAt.Store(nowUnixNano())
+	return j
 }
 
 // Job implements harness.Sink to count finished trials for status and
@@ -75,6 +93,21 @@ type JobStatus struct {
 	// the cache; present once the job has started.
 	SubstrateCached *bool  `json:"substrate_cached,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// Lifecycle timestamps, RFC 3339 with nanoseconds; started_at and
+	// finished_at appear once the job reaches that state. Status-only
+	// scheduling history — the result JSON carries none of these.
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+}
+
+// stampRFC3339 renders a unix-nano timestamp, or "" for zero (state
+// not reached yet).
+func stampRFC3339(ns int64) string {
+	if ns == 0 {
+		return ""
+	}
+	return time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
 }
 
 func (j *Job) status() JobStatus {
@@ -93,17 +126,22 @@ func (j *Job) status() JobStatus {
 	if st == jobFailed {
 		s.Error = j.errMsg
 	}
+	s.SubmittedAt = stampRFC3339(j.submittedAt.Load())
+	s.StartedAt = stampRFC3339(j.startedAt.Load())
+	s.FinishedAt = stampRFC3339(j.finishedAt.Load())
 	return s
 }
 
 func (j *Job) complete(result []byte) {
 	j.result = result
+	j.finishedAt.Store(nowUnixNano())
 	j.state.Store(jobDone)
 	close(j.finished)
 }
 
 func (j *Job) fail(msg string) {
 	j.errMsg = msg
+	j.finishedAt.Store(nowUnixNano())
 	j.state.Store(jobFailed)
 	close(j.finished)
 }
@@ -152,6 +190,7 @@ func New(cfg Config) *Server {
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = 250 * time.Millisecond
 	}
+	//costsense:ctx-ok lifecycle root: the server outlives any one request; Drain cancels runCtx
 	runCtx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:       cfg,
@@ -236,6 +275,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 		return buildSubstrate(key, j.spec.Graph, j.spec.Shards)
 	})
 	j.cached.Store(hit)
+	j.startedAt.Store(nowUnixNano())
 	j.state.Store(jobRunning)
 	res, err := runSpec(ctx, j.spec, sub, j)
 	if err != nil {
@@ -279,6 +319,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//costsense:err-ok an encode error here means the client hung up mid-response; there is no one left to tell
 	enc.Encode(v)
 }
 
@@ -309,19 +350,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// ID allocation, admission and registration are atomic under mu, so
 	// job IDs are dense, in admission order, and never burned on a
-	// rejected submission.
+	// rejected submission. The response is written after Unlock: an HTTP
+	// write can stall on a slow client, and stalling inside the critical
+	// section would freeze every status poll and submission with it.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	id := fmt.Sprintf("job-%06d", s.nextID+1)
 	j := newJob(id, spec)
-	if err := s.queue.TrySubmit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
+	//costsense:lock-ok TrySubmit never parks (select with default under its own mutex), and admission must be atomic with ID allocation
+	err := s.queue.TrySubmit(func(ctx context.Context) { s.runJob(ctx, j) })
+	if err == nil {
+		s.nextID++
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+	}
+	s.mu.Unlock()
+
+	if err != nil {
 		switch {
 		case errors.Is(err, harness.ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			depth, capacity := s.queue.Len(), s.queue.Cap()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(depth, capacity)))
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":       "job queue full; retry later",
-				"queue_depth": s.queue.Len(),
-				"queue_cap":   s.queue.Cap(),
+				"queue_depth": depth,
+				"queue_cap":   capacity,
 			})
 		case errors.Is(err, harness.ErrQueueClosed):
 			writeError(w, http.StatusServiceUnavailable, "server is draining; not accepting jobs")
@@ -330,15 +382,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.nextID++
-	s.jobs[id] = j
-	s.order = append(s.order, id)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":         id,
 		"status_url": "/api/v1/jobs/" + id,
 		"result_url": "/api/v1/jobs/" + id + "/result",
 		"stream_url": "/api/v1/jobs/" + id + "/stream",
 	})
+}
+
+// retryAfterSeconds scales the 429 backoff hint with queue depth: a
+// nearly-drained queue invites a quick retry, a full one pushes
+// clients back harder (1s empty .. 5s at capacity).
+func retryAfterSeconds(depth, capacity int) int {
+	if capacity <= 0 || depth < 0 {
+		return 1
+	}
+	if depth > capacity {
+		depth = capacity
+	}
+	return 1 + (4*depth)/capacity
 }
 
 func (s *Server) job(id string) *Job {
@@ -383,6 +445,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	//costsense:err-ok a short write means the client hung up; the result stays cached for the next GET
 	w.Write(j.result)
 }
 
@@ -399,6 +462,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	fl, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	//costsense:nondet-ok stream cadence is wall-clock by design; emitted lines carry job status, never result bytes
 	ticker := time.NewTicker(s.cfg.StreamInterval)
 	defer ticker.Stop()
 	for {
@@ -410,6 +474,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-j.finished:
+			//costsense:err-ok terminal line is best-effort; the stream closes right after either way
 			enc.Encode(j.status())
 			if fl != nil {
 				fl.Flush()
@@ -422,6 +487,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			// Shutdown: failUnfinished will close j.finished; emit the
 			// terminal line and go.
 			<-j.finished
+			//costsense:err-ok terminal line is best-effort; the stream closes right after either way
 			enc.Encode(j.status())
 			if fl != nil {
 				fl.Flush()

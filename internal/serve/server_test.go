@@ -268,6 +268,82 @@ func TestStream(t *testing.T) {
 	_ = s
 }
 
+// TestDrainWhileStreaming: Drain racing a live NDJSON stream must
+// terminate the stream with a terminal status line rather than leave
+// the handler parked, and the post-drain status must agree with the
+// stream's last line. Under -race — the nightly CI mode — this covers
+// the scheduler-goroutine/handler hand-off on the Job's atomics and
+// the runCtx/finished shutdown ordering in handleStream.
+func TestDrainWhileStreaming(t *testing.T) {
+	s := New(Config{StreamInterval: 2 * time.Millisecond})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := validSpec()
+	spec.Trials = 512 // enough work that the drain deadline can cut the sweep off
+	_, out, _ := postSpec(t, ts, spec)
+	id := out["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type streamEnd struct {
+		last  JobStatus
+		lines int
+		err   error
+	}
+	endCh := make(chan streamEnd, 1)
+	go func() {
+		var end streamEnd
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			end.lines++
+			if err := json.Unmarshal(sc.Bytes(), &end.last); err != nil {
+				end.err = fmt.Errorf("line %d: %w (%s)", end.lines, err, sc.Text())
+				break
+			}
+		}
+		if end.err == nil {
+			end.err = sc.Err()
+		}
+		endCh <- end
+	}()
+
+	// Let a few status lines flow, then pull the plug with a deadline
+	// short enough that an unfinished sweep gets cancelled mid-flight.
+	// Either outcome — the job squeaked through (done) or was cut off
+	// (failed) — is a valid terminal state; what may not happen is a
+	// hung stream or a non-terminal last line.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+
+	var end streamEnd
+	select {
+	case end = <-endCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream did not terminate after drain")
+	}
+	if end.err != nil {
+		t.Fatal(end.err)
+	}
+	if end.lines == 0 {
+		t.Fatal("stream emitted nothing")
+	}
+	if end.last.State != "done" && end.last.State != "failed" {
+		t.Fatalf("stream ended on non-terminal state %q (drain err: %v)", end.last.State, drainErr)
+	}
+	st := getJSON(t, ts.URL+"/api/v1/jobs/"+id, http.StatusOK)
+	if st["state"] != end.last.State {
+		t.Fatalf("post-drain status %v disagrees with stream terminal line %q", st["state"], end.last.State)
+	}
+}
+
 // A job whose sweep errors reports failed with the cause, and its
 // result endpoint returns 500.
 func TestJobFailure(t *testing.T) {

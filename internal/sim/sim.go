@@ -1032,6 +1032,7 @@ func (n *Network) run() (*Stats, error) {
 		n.faults.observeUpTo(n, math.MaxInt64)
 	}
 	n.stats.FinishTime = n.now
+	//costsense:alloc-ok run epilogue: builds the public per-class view once, after the event loop
 	n.materializeByClass()
 	if n.obs != nil {
 		n.obs.OnQuiesce(&n.stats)

@@ -7,9 +7,14 @@
 #   1. gofmt          — formatting, including testdata packages
 #   2. go vet         — the stock toolchain analyzers
 #   3. costsense-vet  — the project suite (detmap, detsource,
-#                       hotpathalloc, arenaref); see DESIGN.md,
-#                       "Static analysis & invariants"
-#   4. staticcheck    — pinned version, via `go run`
+#                       hotpathalloc, hotpathtrans, arenaref,
+#                       shardsync, lockguard, ctxflow, errflow);
+#                       see DESIGN.md, "Static analysis & invariants"
+#   4. costsense-vet -audit — the directive inventory: stale,
+#                       unjustified or unknown //costsense: directives
+#                       are blocking (JSON goes to /dev/null here; the
+#                       nightly CI job keeps it as an artifact)
+#   5. staticcheck    — pinned version, via `go run`
 #
 # staticcheck needs the module proxy (or a preinstalled binary) the
 # first time; offline environments get a warning and continue unless
@@ -33,6 +38,9 @@ go vet ./...
 
 echo "==> costsense-vet"
 go run ./cmd/costsense-vet ./...
+
+echo "==> costsense-vet -audit"
+go run ./cmd/costsense-vet -audit ./... >/dev/null
 
 echo "==> staticcheck ($STATICCHECK_VERSION)"
 if command -v staticcheck >/dev/null 2>&1; then
