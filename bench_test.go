@@ -412,6 +412,35 @@ func BenchmarkEngineObserved(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
 
+// BenchmarkEngineCausal is BenchmarkEngineFlood with the causal
+// observer attached — the cost of recording the full happens-before
+// DAG plus one critical-path extraction per run, measured against the
+// same nil-observer baseline. The probe threading itself (the Cause
+// field every SendEvent now carries) is an unconditional scalar store,
+// so BenchmarkEngineFlood's allocs/op contract is the regression gate
+// for it; this benchmark tracks the opt-in observer's own overhead.
+func BenchmarkEngineCausal(b *testing.B) {
+	g := costsense.RandomConnected(5000, 40000, costsense.UniformWeights(64, 21), 21)
+	var events int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ca := costsense.NewCausalObserver(g)
+		res, err := costsense.RunFlood(g, 0, costsense.WithObserver(ca))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := ca.Report()
+		if r.PathHops == 0 || r.PathEnd != res.Stats.FinishTime {
+			b.Fatalf("implausible critical path: %d hops ending at %d (finish %d)",
+				r.PathHops, r.PathEnd, res.Stats.FinishTime)
+		}
+		events += res.Stats.Events
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}
+
 // BenchmarkEngineFaulty is BenchmarkEngineFlood under a fault plan
 // (drops, duplication, one link outage, one fail-stop crash) — the
 // cost of the fault-injection branches in the hot path, measured

@@ -23,17 +23,19 @@ import (
 // representative execution, not an arbitrary interleaving of all of
 // them.
 type instruments struct {
-	tracePath   string // -trace: Chrome trace_event JSON output file
-	metricsPath string // -metrics: per-edge/per-class metrics JSON output file
-	progress    bool   // -progress: per-sweep progress lines on stderr
-	httpAddr    string // -http: expvar + pprof debug server address
-	shards      int    // -shards: run simulations on the sharded engine
-	multi       bool   // running several experiments: tag output files by id
+	tracePath    string // -trace: Chrome trace_event JSON output file
+	metricsPath  string // -metrics: per-edge/per-class metrics JSON output file
+	critpathPath string // -critpath: critical-path analysis JSON output file
+	progress     bool   // -progress: per-sweep progress lines on stderr
+	httpAddr     string // -http: expvar + pprof debug server address
+	shards       int    // -shards: run simulations on the sharded engine
+	multi        bool   // running several experiments: tag output files by id
 
 	expID   string
 	armed   bool
 	trace   *costsense.TraceObserver
 	metrics *costsense.MetricsObserver
+	causal  *costsense.CausalObserver
 }
 
 var instr instruments
@@ -48,9 +50,10 @@ var (
 // begin resets the per-experiment observer slot.
 func (in *instruments) begin(expID string) {
 	in.expID = expID
-	in.armed = in.tracePath != "" || in.metricsPath != ""
+	in.armed = in.tracePath != "" || in.metricsPath != "" || in.critpathPath != ""
 	in.trace = nil
 	in.metrics = nil
+	in.causal = nil
 }
 
 // instrOpts claims the current experiment's observer slot for a run
@@ -71,7 +74,7 @@ func instrOpts(g *costsense.Graph) []costsense.Option {
 		return opts
 	}
 	instr.armed = false
-	obs := make([]costsense.Observer, 0, 2)
+	obs := make([]costsense.Observer, 0, 3)
 	if instr.metricsPath != "" {
 		instr.metrics = costsense.NewMetricsObserver(g)
 		obs = append(obs, instr.metrics)
@@ -79,6 +82,10 @@ func instrOpts(g *costsense.Graph) []costsense.Option {
 	if instr.tracePath != "" {
 		instr.trace = costsense.NewTraceObserver(g)
 		obs = append(obs, instr.trace)
+	}
+	if instr.critpathPath != "" {
+		instr.causal = costsense.NewCausalObserver(g)
+		obs = append(obs, instr.causal)
 	}
 	return append(opts, costsense.WithObserver(costsense.NewTeeObserver(obs...)))
 }
@@ -93,6 +100,11 @@ func (in *instruments) flush() error {
 	}
 	if in.metrics != nil {
 		if err := writeArtifact(in.outPath(in.metricsPath), "metrics", in.metrics.WriteJSON); err != nil {
+			return err
+		}
+	}
+	if in.causal != nil {
+		if err := writeArtifact(in.outPath(in.critpathPath), "critical path", in.causal.WriteJSON); err != nil {
 			return err
 		}
 	}
@@ -162,6 +174,11 @@ func serveDebug(ctx context.Context, addr string) {
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "costsense: debug server shutdown:", err)
+			// Grace window elapsed with a scrape still in flight: cut
+			// the remaining connections so the process can exit.
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "costsense: debug server close:", err)
+			}
 		}
 	}()
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {

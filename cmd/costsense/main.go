@@ -17,6 +17,9 @@
 //	-trace f.json     record one representative run per experiment as
 //	                  Chrome trace_event JSON (Perfetto / about:tracing)
 //	-metrics f.json   per-edge and per-class metrics of that run
+//	-critpath f.json  happens-before critical path of that run: the causal
+//	                  message chain realizing the completion time, with
+//	                  on/off-path cost attribution and slack histogram
 //	-progress         per-sweep progress lines (done/total, ETA) on stderr
 //	-http addr        serve expvar (/debug/vars) and pprof (/debug/pprof)
 //	-shards n         run the instrumented simulations on the sharded
@@ -76,6 +79,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("costsense", flag.ContinueOnError)
 	fs.StringVar(&instr.tracePath, "trace", "", "write a Chrome trace_event JSON of one representative run per experiment to `file`")
 	fs.StringVar(&instr.metricsPath, "metrics", "", "write per-edge/per-class metrics JSON of that run to `file`")
+	fs.StringVar(&instr.critpathPath, "critpath", "", "write the critical-path analysis JSON of that run to `file`")
 	fs.BoolVar(&instr.progress, "progress", false, "report sweep progress (trials done/total, ETA) on stderr")
 	fs.StringVar(&instr.httpAddr, "http", "", "serve expvar and pprof on `addr` (e.g. localhost:6060)")
 	fs.IntVar(&instr.shards, "shards", 0, "run simulations on the sharded engine with `n` shards (results are byte-identical to serial; 0 or 1 = serial)")
@@ -161,7 +165,7 @@ func runOne(e experiment) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify | serve [-addr a] [-queue n] [-cache-mb n] [-drain d]}")
+	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-critpath f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify | serve [-addr a] [-queue n] [-cache-mb n] [-drain d]}")
 }
 
 // ratio formats a measured/bound quotient.

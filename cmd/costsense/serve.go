@@ -8,11 +8,31 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"costsense/internal/serve"
 )
+
+// registerDebugMetrics mounts h at /debug/metrics on the default mux
+// exactly once per process; later calls (a second serve in one test
+// binary) swap the backing handler instead of re-registering, which
+// would panic the mux.
+var (
+	debugMetricsOnce sync.Once
+	debugMetricsCur  atomic.Pointer[http.Handler]
+)
+
+func registerDebugMetrics(h http.Handler) {
+	debugMetricsCur.Store(&h)
+	debugMetricsOnce.Do(func() {
+		http.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+			(*debugMetricsCur.Load()).ServeHTTP(w, r)
+		})
+	})
+}
 
 // runServe runs `costsense serve`: the persistent experiment service.
 // It blocks until the listener fails or the process receives SIGINT or
@@ -46,7 +66,15 @@ func runServe(args []string) error {
 		// The default mux carries expvar's /debug/vars and (via the
 		// blank import in instrument.go) /debug/pprof.
 		DebugHandler: http.DefaultServeMux,
+		Logger:       serve.NewLogger(os.Stderr),
 	})
+	// One registry, both muxes: the API mux serves GET /metrics
+	// directly, and the same handler is mounted on the default (debug)
+	// mux so the /debug/ surface — and any -http debug listener sharing
+	// it — scrapes identical state. Guarded: the default mux panics on
+	// duplicate registration and serve can run twice in one test
+	// process.
+	registerDebugMetrics(s.MetricsHandler())
 	s.Start()
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)
@@ -68,6 +96,12 @@ func runServe(args []string) error {
 	drainErr := s.Drain(shCtx)
 	if err := httpSrv.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "costsense: http shutdown:", err)
+		// Graceful shutdown failed (deadline hit with connections still
+		// open): force-close them so ListenAndServe below is guaranteed
+		// to return.
+		if err := httpSrv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "costsense: http close:", err)
+		}
 	}
 	<-errCh // ListenAndServe has returned ErrServerClosed
 	if drainErr != nil {

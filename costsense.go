@@ -234,8 +234,19 @@ type (
 	// MetricsSnapshot is the exportable view of one observed run.
 	MetricsSnapshot = obs.Snapshot
 	// TraceObserver records message lifetimes and exports Chrome
-	// trace_event JSON (Perfetto / about:tracing).
+	// trace_event JSON (Perfetto / about:tracing) with flow events
+	// linking each send to its delivery.
 	TraceObserver = obs.Trace
+	// CausalObserver records the happens-before DAG of a run and
+	// extracts the critical path — the causal chain of messages
+	// realizing the completion time — with cost attribution on vs. off
+	// the path and deterministic JSON/CSV export.
+	CausalObserver = obs.Causal
+	// CausalReport is the exportable critical-path analysis of one run.
+	CausalReport = obs.CausalReport
+	// CausalSummary aggregates critical paths across a sweep's trials
+	// (worst and median realized chain).
+	CausalSummary = obs.CausalSummary
 	// TrialSink receives per-trial telemetry from RunTrialsObserved.
 	TrialSink = harness.Sink
 	// ProgressMeter is the bundled TrialSink printing done/total,
@@ -251,6 +262,11 @@ var (
 	NewMetricsObserver = obs.NewMetrics
 	// NewTraceObserver builds a TraceObserver for one run over g.
 	NewTraceObserver = obs.NewTrace
+	// NewCausalObserver builds a CausalObserver for one run over g.
+	NewCausalObserver = obs.NewCausal
+	// SummarizeCausal aggregates per-trial CausalReports in index
+	// order: worst/median critical path, mean on-path cost share.
+	SummarizeCausal = obs.SummarizeCausal
 	// NewTeeObserver composes observers; nil entries are dropped.
 	NewTeeObserver = obs.NewTee
 	// NewProgressMeter builds a ProgressMeter writing to w.

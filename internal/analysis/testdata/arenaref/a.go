@@ -111,3 +111,46 @@ func (o *CleanObserver) OnDrop(e sim.DropEvent, m sim.Message) {
 		o.sum -= pl.n // copying a field out of a dropped payload is fine
 	}
 }
+
+// leakyCausalRec pairs a happens-before edge with the payload itself —
+// the illegal shape for a causal observer, whose DAG buffers outlive
+// every probe call.
+type leakyCausalRec struct {
+	cause int64
+	m     sim.Message
+}
+
+// LeakyCausal mirrors the causal observer's record-appending probe but
+// wrongly keeps the arena message inside the DAG record.
+type LeakyCausal struct {
+	recs []leakyCausalRec
+}
+
+func (c *LeakyCausal) OnSend(e sim.SendEvent, m sim.Message) {
+	c.recs = append(c.recs, leakyCausalRec{cause: e.Cause, m: m}) // want "stores arena message m into c.recs"
+}
+
+func (c *LeakyCausal) OnDeliver(e sim.DeliverEvent, m sim.Message) {
+	c.recs[e.Seq-1].m = m // want "stores arena message m into c.recs\\[e.Seq - 1\\].m"
+}
+
+func (c *LeakyCausal) OnDrop(e sim.DropEvent, _ sim.Message) {}
+
+// CleanCausal records only the scalar event fields — the legal causal
+// observer shape: the DAG holds sequence numbers and times, never the
+// payload.
+type CleanCausal struct {
+	causes []int64
+	marks  []bool
+}
+
+func (c *CleanCausal) OnSend(e sim.SendEvent, _ sim.Message) {
+	c.causes = append(c.causes, e.Cause)
+	c.marks = append(c.marks, false)
+}
+
+func (c *CleanCausal) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
+	c.marks[e.Seq-1] = true
+}
+
+func (c *CleanCausal) OnDrop(e sim.DropEvent, _ sim.Message) {}

@@ -1,0 +1,505 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"math/bits"
+	"sort"
+	"strconv"
+
+	"costsense/internal/graph"
+	"costsense/internal/sim"
+)
+
+// This file is the causal observability layer: a sim.Observer that
+// records the happens-before DAG of a run — every transmission tagged
+// with the SendEvent.Cause parent the engine threads through the probe
+// path — and extracts from it the critical path, the single causal
+// chain of messages that realizes the run's completion time.
+//
+// The paper's time measure t_π is a worst case over adversarial edge
+// delays in [0, w(e)]; for any one run the realized completion time is
+// attained by one chain send → deliver → send → ... rooted at an Init.
+// Extracting that chain turns every simulation into a per-run
+// certificate: the chain's end time is a constructive lower bound on
+// t_π for the delay assignment the RNG drew, directly comparable to
+// the Ω(𝓓) floor and the shallow-light tradeoff predictions
+// (EXPERIMENTS.md "Critical paths vs. the paper's bounds").
+//
+// Attribution: weighted cost is split between messages on the chain
+// and everything off it, per class and per causal depth ("phase" —
+// hop count from the Init root, which for round-structured protocols
+// recovers the round number). Slack — how long each delivery could be
+// postponed without moving completion — comes from one reverse pass
+// over the DAG, exploiting that a cause's sequence number is always
+// smaller than its children's.
+
+// causalRec is one transmission in the happens-before DAG, recorded
+// densely at probe sequence order (index = Seq-1).
+type causalRec struct {
+	cause  int64 // Seq of the causal parent; 0 = rooted at Init
+	send   int64 // send time
+	arrive int64 // scheduled (= realized, unless dropped) delivery time
+	delay  int64 // drawn transit delay (arrive - send - FIFO wait)
+	w      int64 // edge weight = weighted cost of this message
+	from   int32
+	to     int32
+	edge   int32
+	class  uint16
+	state  uint8 // causalDup | causalDelivered | causalDropped
+}
+
+const (
+	causalDup uint8 = 1 << iota
+	causalDelivered
+	causalDropped
+)
+
+// Causal is a sim.Observer that buffers the full happens-before DAG in
+// dense preallocated buffers and computes critical-path cost
+// attribution at Report time. One Causal instruments one run; build a
+// fresh one per Network. Timers are free and carry no sequence number,
+// so causal chains collapse across them: a send issued from a timer
+// callback is charged to the event that scheduled the timer, and the
+// timer's wait shows up as trigger gap on the chain rather than as an
+// extra hop (see sim.SendEvent.Cause).
+type Causal struct {
+	g        *graph.Graph
+	recs     []causalRec
+	classes  []sim.Class
+	classIdx map[sim.Class]int
+	finish   int64
+	quiesced bool
+}
+
+var _ sim.Observer = (*Causal)(nil)
+
+// NewCausal builds a causal observer for one run over g.
+func NewCausal(g *graph.Graph) *Causal {
+	return &Causal{
+		g:        g,
+		recs:     make([]causalRec, 0, 2*g.M()),
+		classes:  make([]sim.Class, 0, 8),
+		classIdx: make(map[sim.Class]int, 8),
+	}
+}
+
+// classID interns a class; the map read is allocation-free, the
+// first-sight insert is once per class.
+//
+//costsense:hotpath
+func (c *Causal) classID(cl sim.Class) int {
+	if id, ok := c.classIdx[cl]; ok {
+		return id
+	}
+	//costsense:alloc-ok interning cold path: runs once per class over a whole run, not per event
+	return c.addClass(cl)
+}
+
+// addClass is the once-per-class cold path of classID.
+func (c *Causal) addClass(cl sim.Class) int {
+	id := len(c.classes)
+	if id > 0xFFFF {
+		panic("obs: more than 65536 message classes")
+	}
+	c.classes = append(c.classes, cl)
+	c.classIdx[cl] = id
+	return id
+}
+
+// OnSend appends the transmission to the DAG buffer. Probe sequences
+// are dense over all transmissions (including duplicates and messages
+// later dropped), so the record for Seq s always lands at index s-1.
+// Amortized slice growth only; no per-event allocation.
+//
+//costsense:hotpath
+func (c *Causal) OnSend(e sim.SendEvent, _ sim.Message) {
+	var st uint8
+	if e.Dup {
+		st = causalDup
+	}
+	c.recs = append(c.recs, causalRec{
+		cause: e.Cause, send: e.Time, arrive: e.Arrive, delay: e.Delay, w: e.W,
+		from: int32(e.From), to: int32(e.To), edge: int32(e.Edge),
+		class: uint16(c.classID(e.Class)), state: st,
+	})
+}
+
+// OnDeliver marks the transmission delivered; its arrival time was
+// already known at send time.
+//
+//costsense:hotpath
+func (c *Causal) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
+	c.recs[e.Seq-1].state |= causalDelivered
+}
+
+// OnDrop marks the transmission destroyed: it can never sit on the
+// critical path, and its (sender-paid) weight is attributed off-path.
+//
+//costsense:hotpath
+func (c *Causal) OnDrop(e sim.DropEvent, _ sim.Message) {
+	c.recs[e.Seq-1].state |= causalDropped
+}
+
+// OnCrash is ignored: crashes reach the DAG as dropped deliveries.
+func (c *Causal) OnCrash(graph.NodeID, int64) {}
+
+// OnLinkDown is ignored: outages reach the DAG as dropped sends.
+func (c *Causal) OnLinkDown(graph.EdgeID, int64, int64) {}
+
+// OnRecord is ignored; Record traces stay on the Network.
+func (c *Causal) OnRecord(graph.NodeID, int64, string, int64) {}
+
+// OnQuiesce captures the completion time.
+func (c *Causal) OnQuiesce(s *sim.Stats) {
+	c.finish = s.FinishTime
+	c.quiesced = true
+}
+
+// Events returns the number of transmissions recorded so far.
+func (c *Causal) Events() int { return len(c.recs) }
+
+// PathHop is one link of the exported critical path, root first.
+type PathHop struct {
+	Hop    int    `json:"hop"`   // 0-based position on the chain, root first
+	Seq    int64  `json:"seq"`   // probe sequence number of the transmission
+	Cause  int64  `json:"cause"` // causal parent's Seq (0 for the root)
+	From   int    `json:"from"`
+	To     int    `json:"to"`
+	Edge   int    `json:"edge"`
+	Class  string `json:"class"`
+	W      int64  `json:"w"`
+	Send   int64  `json:"send"`
+	Arrive int64  `json:"arrive"`
+	Delay  int64  `json:"delay"` // drawn transit delay
+	Wait   int64  `json:"wait"`  // FIFO/congestion queueing before transit
+	Gap    int64  `json:"gap"`   // trigger gap: send - previous hop's arrival
+	Dup    bool   `json:"dup,omitempty"`
+}
+
+// CausalClass is one class's weighted cost split across the critical
+// path. Dropped messages count off-path (the sender paid for them);
+// duplicate copies are excluded entirely, mirroring Stats.
+type CausalClass struct {
+	Class       string `json:"class"`
+	OnMessages  int64  `json:"on_messages"`
+	OnComm      int64  `json:"on_comm"`
+	OffMessages int64  `json:"off_messages"`
+	OffComm     int64  `json:"off_comm"`
+}
+
+// PhaseCost is the weighted cost at one causal depth — the hop count
+// from the Init root, which for round-structured protocols recovers
+// the round number.
+type PhaseCost struct {
+	Depth       int   `json:"depth"`
+	OnMessages  int64 `json:"on_messages"`
+	OnComm      int64 `json:"on_comm"`
+	OffMessages int64 `json:"off_messages"`
+	OffComm     int64 `json:"off_comm"`
+}
+
+// SlackBucket is one bar of the slack histogram over delivered
+// transmissions: bucket 0 is exact-zero slack (the critical DAG),
+// bucket k counts slack in [2^(k-1), 2^k - 1].
+type SlackBucket struct {
+	Lo    int64 `json:"lo"`
+	Hi    int64 `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// CausalReport is the exportable critical-path analysis of one run.
+// All slices are dense and deterministically ordered (path root-first,
+// classes by name, phases by depth, slack buckets by bound), so
+// encoding/json output is byte-deterministic.
+//
+// Invariants (tested in causal_test.go):
+//
+//	PathWire + PathGap == PathEnd <= FinishTime
+//	PathEnd == FinishTime when completion is realized by a delivery
+//	    (always true for timer-free protocols)
+//	Σ_class (OnComm + OffComm) == Stats.Comm  (= c_π)
+type CausalReport struct {
+	Nodes      int   `json:"nodes"`
+	EdgesTotal int   `json:"edges_total"`
+	FinishTime int64 `json:"finish_time"`
+	Quiesced   bool  `json:"quiesced"`
+	Sends      int64 `json:"sends"`
+	Delivered  int64 `json:"delivered"`
+	Dropped    int64 `json:"dropped"`
+	Dups       int64 `json:"dups"`
+
+	// The realized critical chain: PathEnd is the latest delivery's
+	// arrival (the completion time unless a trailing timer extends it),
+	// PathWire the time the chain spends on edges (transit + queueing),
+	// PathGap the rest — local think time and timer waits between a
+	// hop's arrival and the next hop's send.
+	PathEnd  int64 `json:"path_end"`
+	PathWire int64 `json:"path_wire"`
+	PathGap  int64 `json:"path_gap"`
+	PathHops int   `json:"path_hops"`
+
+	OnPathMessages  int64 `json:"on_path_messages"`
+	OnPathComm      int64 `json:"on_path_comm"`
+	OffPathMessages int64 `json:"off_path_messages"`
+	OffPathComm     int64 `json:"off_path_comm"`
+
+	Classes []CausalClass `json:"classes"`
+	Phases  []PhaseCost   `json:"phases"`
+	Slack   []SlackBucket `json:"slack"`
+	Path    []PathHop     `json:"path"`
+}
+
+// slackBucketOf maps a slack value to its histogram bucket index.
+func slackBucketOf(s int64) int {
+	if s <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(s))
+}
+
+// Report materializes the critical-path analysis. Cost: three linear
+// passes over the transmissions plus the chain walk; call it after the
+// run, not from a probe.
+func (c *Causal) Report() *CausalReport {
+	r := &CausalReport{
+		Nodes:      c.g.N(),
+		EdgesTotal: c.g.M(),
+		FinishTime: c.finish,
+		Quiesced:   c.quiesced,
+		Sends:      int64(len(c.recs)),
+	}
+
+	// End of the realized chain: the delivered transmission with the
+	// latest arrival, lowest sequence number on ties (matching the
+	// serial event order, which pops equal-time events by sender).
+	endIdx := -1
+	for i := range c.recs {
+		rec := &c.recs[i]
+		if rec.state&causalDup != 0 {
+			r.Dups++
+		}
+		if rec.state&causalDropped != 0 {
+			r.Dropped++
+		}
+		if rec.state&causalDelivered == 0 {
+			continue
+		}
+		r.Delivered++
+		if endIdx < 0 || rec.arrive > c.recs[endIdx].arrive {
+			endIdx = i
+		}
+	}
+
+	// Walk the chain end → root, then reverse to root-first order. A
+	// cause is always a transmission whose Handle ran, so every link
+	// of the chain is delivered and the walk cannot revisit an index
+	// (cause < seq strictly).
+	onPath := make([]bool, len(c.recs))
+	if endIdx >= 0 {
+		for i := endIdx; ; {
+			onPath[i] = true
+			r.PathHops++
+			rec := &c.recs[i]
+			r.PathWire += rec.arrive - rec.send
+			if rec.cause == 0 {
+				break
+			}
+			i = int(rec.cause - 1)
+		}
+		r.PathEnd = c.recs[endIdx].arrive
+		r.PathGap = r.PathEnd - r.PathWire
+		r.Path = make([]PathHop, 0, r.PathHops)
+		for i := endIdx; ; {
+			rec := &c.recs[i]
+			r.Path = append(r.Path, PathHop{
+				Seq: int64(i + 1), Cause: rec.cause,
+				From: int(rec.from), To: int(rec.to), Edge: int(rec.edge),
+				Class: string(c.classes[rec.class]), W: rec.w,
+				Send: rec.send, Arrive: rec.arrive, Delay: rec.delay,
+				Wait: rec.arrive - rec.send - rec.delay,
+				Dup:  rec.state&causalDup != 0,
+			})
+			if rec.cause == 0 {
+				break
+			}
+			i = int(rec.cause - 1)
+		}
+		for i, j := 0, len(r.Path)-1; i < j; i, j = i+1, j-1 {
+			r.Path[i], r.Path[j] = r.Path[j], r.Path[i]
+		}
+		prevArrive := int64(0)
+		for i := range r.Path {
+			r.Path[i].Hop = i
+			r.Path[i].Gap = r.Path[i].Send - prevArrive
+			prevArrive = r.Path[i].Arrive
+		}
+	}
+
+	// Attribution per class and per causal depth. depth[i] needs only
+	// depth[cause-1], which a forward pass has already computed
+	// (cause < seq). Duplicates are excluded from cost, exactly as in
+	// Stats; dropped messages are real paid cost, always off-path.
+	depth := make([]int32, len(c.recs))
+	classes := make([]CausalClass, len(c.classes))
+	for i := range classes {
+		classes[i].Class = string(c.classes[i])
+	}
+	var phases []PhaseCost
+	for i := range c.recs {
+		rec := &c.recs[i]
+		d := int32(0)
+		if rec.cause > 0 {
+			d = depth[rec.cause-1] + 1
+		}
+		depth[i] = d
+		if rec.state&causalDup != 0 {
+			continue
+		}
+		for int(d) >= len(phases) {
+			phases = append(phases, PhaseCost{Depth: len(phases)})
+		}
+		cl, ph := &classes[rec.class], &phases[d]
+		if onPath[i] {
+			r.OnPathMessages++
+			r.OnPathComm += rec.w
+			cl.OnMessages++
+			cl.OnComm += rec.w
+			ph.OnMessages++
+			ph.OnComm += rec.w
+		} else {
+			r.OffPathMessages++
+			r.OffPathComm += rec.w
+			cl.OffMessages++
+			cl.OffComm += rec.w
+			ph.OffMessages++
+			ph.OffComm += rec.w
+		}
+	}
+	r.Phases = phases
+	r.Classes = classes
+	sort.Slice(r.Classes, func(i, j int) bool { return r.Classes[i].Class < r.Classes[j].Class })
+
+	// Slack: down[i] is the latest arrival reachable from delivered
+	// transmission i through causal descendants; slack = PathEnd -
+	// down[i], zero exactly on the critical DAG. Children have larger
+	// sequence numbers, so one reverse pass suffices.
+	if endIdx >= 0 {
+		down := make([]int64, len(c.recs))
+		for i := range c.recs {
+			if c.recs[i].state&causalDelivered != 0 {
+				down[i] = c.recs[i].arrive
+			}
+		}
+		for i := len(c.recs) - 1; i >= 0; i-- {
+			if down[i] == 0 {
+				continue
+			}
+			if p := c.recs[i].cause; p > 0 && down[i] > down[p-1] {
+				down[p-1] = down[i]
+			}
+		}
+		var counts []int64
+		for i := range c.recs {
+			if down[i] == 0 {
+				continue
+			}
+			b := slackBucketOf(r.PathEnd - down[i])
+			for b >= len(counts) {
+				counts = append(counts, 0)
+			}
+			counts[b]++
+		}
+		r.Slack = make([]SlackBucket, len(counts))
+		for b, n := range counts {
+			lo, hi := int64(0), int64(0)
+			if b > 0 {
+				lo = int64(1) << (b - 1)
+				hi = int64(1)<<b - 1
+			}
+			r.Slack[b] = SlackBucket{Lo: lo, Hi: hi, Count: n}
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON. Byte-deterministic for
+// a fixed seed: structs and deterministically ordered slices only.
+func (c *Causal) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Report())
+}
+
+// WritePathCSV writes one CSV row per critical-path hop, root first.
+func (c *Causal) WritePathCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hop", "seq", "cause", "from", "to", "edge", "class", "w", "send", "arrive", "delay", "wait", "gap", "dup"}); err != nil {
+		return err
+	}
+	for _, h := range c.Report().Path {
+		row := []string{
+			strconv.Itoa(h.Hop), strconv.FormatInt(h.Seq, 10), strconv.FormatInt(h.Cause, 10),
+			strconv.Itoa(h.From), strconv.Itoa(h.To), strconv.Itoa(h.Edge),
+			h.Class, strconv.FormatInt(h.W, 10),
+			strconv.FormatInt(h.Send, 10), strconv.FormatInt(h.Arrive, 10),
+			strconv.FormatInt(h.Delay, 10), strconv.FormatInt(h.Wait, 10),
+			strconv.FormatInt(h.Gap, 10), strconv.FormatBool(h.Dup),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CausalSummary aggregates critical paths across the trials of one
+// experiment. The worst trial's PathEnd is a constructive lower bound
+// on t_π for the adversary the RNG happened to draw — the strongest
+// per-sweep certificate the simulation can produce.
+type CausalSummary struct {
+	Trials          int     `json:"trials"`
+	WorstPathEnd    int64   `json:"worst_path_end"`
+	WorstTrial      int     `json:"worst_trial"` // first trial attaining WorstPathEnd
+	WorstHops       int     `json:"worst_hops"`  // hop count of that worst trial's chain
+	MedianPathEnd   int64   `json:"median_path_end"`
+	MedianHops      int     `json:"median_hops"`
+	MeanOnPathShare float64 `json:"mean_on_path_share"` // mean of OnComm/(OnComm+OffComm)
+}
+
+// SummarizeCausal aggregates per-trial reports in index order; nil
+// entries are skipped. Medians are lower medians so the result is
+// always a realized value. Deterministic for a fixed report slice.
+func SummarizeCausal(reports []*CausalReport) CausalSummary {
+	var s CausalSummary
+	ends := make([]int64, 0, len(reports))
+	hops := make([]int, 0, len(reports))
+	var shareSum float64
+	for i, r := range reports {
+		if r == nil {
+			continue
+		}
+		if s.Trials == 0 || r.PathEnd > s.WorstPathEnd {
+			s.WorstPathEnd = r.PathEnd
+			s.WorstTrial = i
+			s.WorstHops = r.PathHops
+		}
+		s.Trials++
+		ends = append(ends, r.PathEnd)
+		hops = append(hops, r.PathHops)
+		if total := r.OnPathComm + r.OffPathComm; total > 0 {
+			shareSum += float64(r.OnPathComm) / float64(total)
+		}
+	}
+	if s.Trials == 0 {
+		return s
+	}
+	sort.Slice(ends, func(i, j int) bool { return ends[i] < ends[j] })
+	sort.Ints(hops)
+	s.MedianPathEnd = ends[(len(ends)-1)/2]
+	s.MedianHops = hops[(len(hops)-1)/2]
+	s.MeanOnPathShare = shareSum / float64(s.Trials)
+	return s
+}

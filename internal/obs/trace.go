@@ -11,13 +11,17 @@ import (
 )
 
 // span is one message lifetime, recorded compactly at send time; the
-// human-readable strings are built only at export.
+// human-readable strings are built only at export. delivered is set
+// when the matching OnDeliver fires (spans are dense in probe sequence
+// order, so span Seq s lives at index s-1) and gates the flow-event
+// pair: arrows are drawn only for messages that actually arrived.
 type span struct {
 	ts, dur, seq int64
 	w            int64
 	from, to     int32
 	edge         int32
 	class        sim.Class
+	delivered    bool
 }
 
 // mark is one Context.Record call, exported as an instant event.
@@ -70,10 +74,13 @@ func (t *Trace) OnSend(e sim.SendEvent, _ sim.Message) {
 	})
 }
 
-// OnDeliver is a no-op: the slice's end was known at send time.
+// OnDeliver marks the span delivered so Export emits its flow-event
+// pair; the slice's end itself was known at send time.
 //
 //costsense:hotpath
-func (t *Trace) OnDeliver(sim.DeliverEvent, sim.Message) {}
+func (t *Trace) OnDeliver(e sim.DeliverEvent, _ sim.Message) {
+	t.spans[e.Seq-1].delivered = true
+}
 
 // OnDrop records an instant fault event on the sender's lane.
 //
@@ -127,6 +134,19 @@ func (t *Trace) Export(w io.Writer) error {
 		emit(`{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"to":%d,"edge":%d,"w":%d,"seq":%d}}`,
 			strconv.Quote(fmt.Sprintf("%s #%d -> %d", s.class, s.seq, s.to)), strconv.Quote(string(s.class)),
 			s.ts, s.dur, s.from, s.to, s.edge, s.w, s.seq)
+		if !s.delivered {
+			continue // dropped in flight: no arrow to draw
+		}
+		// Flow-event pair linking the send slice on the sender's lane
+		// to the arrival instant on the receiver's lane, so Perfetto
+		// renders a message arrow. The flow id is the probe sequence
+		// number — unique per run; bp:"e" binds the arrow's head to
+		// the slice enclosing the arrival point, i.e. whatever the
+		// receiver transmits next.
+		emit(`{"name":"msg","cat":"msgflow","ph":"s","id":%d,"ts":%d,"pid":0,"tid":%d}`,
+			s.seq, s.ts, s.from)
+		emit(`{"name":"msg","cat":"msgflow","ph":"f","bp":"e","id":%d,"ts":%d,"pid":0,"tid":%d}`,
+			s.seq, s.ts+s.dur, s.to)
 	}
 	for _, m := range t.marks {
 		emit(`{"name":%s,"cat":"record","ph":"i","ts":%d,"pid":0,"tid":%d,"s":"t","args":{"value":%d}}`,

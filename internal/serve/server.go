@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -159,6 +161,10 @@ type Config struct {
 	// DebugHandler, when non-nil, is mounted at /debug/ (the cmd layer
 	// passes the expvar+pprof mux).
 	DebugHandler http.Handler
+	// Logger receives structured request and job lifecycle records
+	// (default: discard). Build one with NewLogger so every record is
+	// timestamped through the audited clock choke point.
+	Logger *slog.Logger
 }
 
 // Server is the costsense experiment service: it admits specs onto a
@@ -167,9 +173,11 @@ type Config struct {
 // substrates through the content-addressed cache, and serves status,
 // NDJSON progress streams, and byte-deterministic results.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	queue *harness.Queue
+	cfg      Config
+	cache    *Cache
+	queue    *harness.Queue
+	log      *slog.Logger
+	rejected atomic.Int64 // submissions turned away (429/503), for /metrics
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -190,12 +198,17 @@ func New(cfg Config) *Server {
 	if cfg.StreamInterval <= 0 {
 		cfg.StreamInterval = 250 * time.Millisecond
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = NewLogger(io.Discard)
+	}
 	//costsense:ctx-ok lifecycle root: the server outlives any one request; Drain cancels runCtx
 	runCtx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheBytes),
 		queue:     harness.NewQueue(cfg.QueueCap),
+		log:       log,
 		jobs:      make(map[string]*Job),
 		runCtx:    runCtx,
 		runCancel: cancel,
@@ -268,6 +281,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 			// A panicking job (a protocol bug, a mutated substrate)
 			// must not take down the scheduler loop with it.
 			j.fail(fmt.Sprintf("job panicked: %v", r))
+			s.logJobDone(j)
 		}
 	}()
 	key := j.spec.SubstrateKey()
@@ -277,22 +291,51 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.cached.Store(hit)
 	j.startedAt.Store(nowUnixNano())
 	j.state.Store(jobRunning)
+	s.logEvent("job started",
+		slog.String("job", j.id), slog.String("experiment", j.spec.Experiment),
+		slog.Int("trials", j.spec.Trials), slog.Bool("substrate_cached", hit))
 	res, err := runSpec(ctx, j.spec, sub, j)
 	if err != nil {
 		j.fail(err.Error())
+		s.logJobDone(j)
 		return
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		j.fail(fmt.Sprintf("encoding result: %v", err))
+		s.logJobDone(j)
 		return
 	}
 	j.complete(append(b, '\n'))
+	s.logJobDone(j)
+}
+
+// logJobDone emits the terminal job record: state, trial count, run
+// duration and throughput, all from the job's own lifecycle
+// timestamps.
+func (s *Server) logJobDone(j *Job) {
+	started, finished := j.startedAt.Load(), j.finishedAt.Load()
+	trials := j.trialsDone.Load()
+	durMS := float64(finished-started) / 1e6
+	rate := 0.0
+	if finished > started {
+		rate = float64(trials) / (float64(finished-started) / 1e9)
+	}
+	args := []any{
+		slog.String("job", j.id), slog.String("state", stateName(j.state.Load())),
+		slog.Int64("trials", trials), slog.Float64("dur_ms", durMS),
+		slog.Float64("trials_per_sec", rate),
+	}
+	if j.state.Load() == jobFailed {
+		args = append(args, slog.String("error", j.errMsg))
+	}
+	s.logEvent("job finished", args...)
 }
 
 // Handler returns the server's HTTP API:
 //
-//	GET  /healthz              liveness + queue depth
+//	GET  /healthz              liveness: queue depth, running job, cache size
+//	GET  /metrics              Prometheus text-format exposition
 //	POST /api/v1/jobs          submit a Spec; 202, or 429 when the queue is full
 //	GET  /api/v1/jobs          all job statuses in creation order
 //	GET  /api/v1/jobs/{id}     one job's status
@@ -302,6 +345,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
@@ -311,7 +355,7 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.DebugHandler != nil {
 		mux.Handle("/debug/", s.cfg.DebugHandler)
 	}
-	return mux
+	return s.logRequests(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -328,11 +372,19 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"queue_depth": s.queue.Len(),
-		"queue_cap":   s.queue.Cap(),
-	})
+	_, runningID := s.snapshotJobs()
+	cs := s.cache.Stats()
+	resp := map[string]any{
+		"status":        "ok",
+		"queue_depth":   s.queue.Len(),
+		"queue_cap":     s.queue.Cap(),
+		"cache_entries": cs.Entries,
+		"cache_bytes":   cs.Bytes,
+	}
+	if runningID != "" {
+		resp["running_job"] = runningID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -366,6 +418,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	if err != nil {
+		s.rejected.Add(1)
+		s.logEvent("job rejected", slog.String("reason", err.Error()))
 		switch {
 		case errors.Is(err, harness.ErrQueueFull):
 			depth, capacity := s.queue.Len(), s.queue.Cap()
@@ -382,6 +436,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.logEvent("job admitted",
+		slog.String("job", id), slog.String("experiment", spec.Experiment),
+		slog.Int("trials", spec.Trials), slog.Int("queue_depth", s.queue.Len()))
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":         id,
 		"status_url": "/api/v1/jobs/" + id,

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"costsense/internal/graph"
+)
+
+// causalRecorder keeps every SendEvent plus delivery marks, for
+// checking the causal-parent contract the engine threads through the
+// probe path.
+type causalRecorder struct {
+	sends     []SendEvent
+	delivered []bool
+}
+
+func (o *causalRecorder) OnSend(e SendEvent, _ Message) {
+	o.sends = append(o.sends, e)
+	o.delivered = append(o.delivered, false)
+}
+func (o *causalRecorder) OnDeliver(e DeliverEvent, _ Message) { o.delivered[e.Seq-1] = true }
+func (o *causalRecorder) OnDrop(DropEvent, Message)           {}
+func (o *causalRecorder) OnCrash(graph.NodeID, int64)         {}
+func (o *causalRecorder) OnLinkDown(graph.EdgeID, int64, int64) {
+}
+func (o *causalRecorder) OnRecord(graph.NodeID, int64, string, int64) {}
+func (o *causalRecorder) OnQuiesce(*Stats)                            {}
+
+// TestCausalParentContract pins SendEvent.Cause's contract on a
+// timer-free workload, clean and faulty: the cause is a strictly
+// earlier transmission (0 = rooted at Init), its delivery was handled
+// at the issuing node, and — with no timers to collapse across — the
+// child's send time is exactly the parent's arrival.
+func TestCausalParentContract(t *testing.T) {
+	g := graph.RandomConnected(40, 120, graph.UniformWeights(32, 7), 7)
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "faulty"
+		}
+		t.Run(name, func(t *testing.T) {
+			procs := make([]Process, g.N())
+			for v := range procs {
+				procs[v] = &ackFlooder{}
+			}
+			o := &causalRecorder{}
+			opts := []Option{WithDelay(DelayUniform{}), WithSeed(11), WithObserver(o)}
+			if faulty {
+				opts = append(opts, WithFaults(FaultPlan{Drop: 0.1, Dup: 0.1}))
+			}
+			if _, err := Run(g, procs, opts...); err != nil {
+				t.Fatal(err)
+			}
+			if len(o.sends) == 0 {
+				t.Fatal("no sends recorded; test is vacuous")
+			}
+			roots, children := 0, 0
+			for i, e := range o.sends {
+				if e.Seq != int64(i+1) {
+					t.Fatalf("send %d carries Seq %d", i, e.Seq)
+				}
+				if e.Cause < 0 || e.Cause >= e.Seq {
+					t.Fatalf("send %d: Cause %d outside [0, Seq %d)", i, e.Cause, e.Seq)
+				}
+				if e.Cause == 0 {
+					roots++
+					if e.Time != 0 {
+						t.Errorf("send %d: Cause 0 at time %d, but a timer-free protocol roots only at Init (t=0)", i, e.Time)
+					}
+					continue
+				}
+				children++
+				p := o.sends[e.Cause-1]
+				if !o.delivered[e.Cause-1] {
+					t.Errorf("send %d: cause %d was never delivered", i, e.Cause)
+				}
+				if p.To != e.From {
+					t.Errorf("send %d from node %d: cause %d was delivered to node %d", i, e.From, e.Cause, p.To)
+				}
+				if p.Arrive != e.Time {
+					t.Errorf("send %d at %d: cause %d arrived at %d (timer-free sends happen inside the delivering Handle)", i, e.Time, e.Cause, p.Arrive)
+				}
+			}
+			if roots == 0 || children == 0 {
+				t.Fatalf("degenerate causal structure: %d roots, %d children", roots, children)
+			}
+		})
+	}
+}
+
+// timerRelay exercises the timer-collapse rule: node 0 sends "go" at
+// Init, the receiver schedules a timer on it, and the timer firing
+// sends "late" back — whose causal parent must be the original "go"
+// transmission, the chain collapsing across the free timer hop. Node 1
+// also schedules a timer directly from Init, whose send must stay
+// rooted (Cause 0) despite firing at t > 0.
+type timerRelay struct{}
+
+func (timerRelay) Init(ctx Context) {
+	switch ctx.ID() {
+	case 0:
+		ctx.Send(ctx.Neighbors()[0].To, "go")
+	case 1:
+		ctx.(TimerContext).ScheduleTimer(3, "boot")
+	}
+}
+
+func (timerRelay) Handle(ctx Context, from graph.NodeID, m Message) {
+	switch m {
+	case "boot":
+		ctx.Send(ctx.Neighbors()[0].To, "bootmsg")
+	case "go":
+		ctx.(TimerContext).ScheduleTimer(5, "wake")
+	case "wake":
+		ctx.Send(ctx.Neighbors()[0].To, "late")
+	}
+}
+
+func TestCausalTimerCollapse(t *testing.T) {
+	g := graph.Path(2, graph.UnitWeights())
+	procs := []Process{timerRelay{}, timerRelay{}}
+	o := &causalRecorder{}
+	if _, err := Run(g, procs, WithObserver(o)); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.sends) != 3 {
+		t.Fatalf("recorded %d sends, want 3 (go, bootmsg, late)", len(o.sends))
+	}
+	goEv, boot, late := o.sends[0], o.sends[1], o.sends[2]
+	if goEv.Cause != 0 || goEv.Time != 0 {
+		t.Errorf("go: Cause %d at t=%d, want Init root at t=0", goEv.Cause, goEv.Time)
+	}
+	// A timer scheduled from Init keeps the Init root: the fired send
+	// carries Cause 0 even though it happens at t=3.
+	if boot.Cause != 0 {
+		t.Errorf("bootmsg: Cause %d, want 0 (timer scheduled from Init)", boot.Cause)
+	}
+	if boot.Time != 3 {
+		t.Errorf("bootmsg sent at t=%d, want 3", boot.Time)
+	}
+	// A timer scheduled from a Handle collapses onto the delivery that
+	// scheduled it: "late" fires 5 after "go" arrived and is caused by
+	// "go" itself, not by any timer pseudo-event.
+	if late.Cause != goEv.Seq {
+		t.Errorf("late: Cause %d, want %d (the go transmission)", late.Cause, goEv.Seq)
+	}
+	if late.Time != goEv.Arrive+5 {
+		t.Errorf("late sent at t=%d, want go's arrival %d + 5", late.Time, goEv.Arrive)
+	}
+}

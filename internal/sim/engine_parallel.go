@@ -52,6 +52,17 @@ import (
 // The serial engine in sim.go is untouched: WithShards(k<=1) never
 // reaches this file.
 
+// causeKey identifies the happens-before parent of a send during a
+// sharded run: the (sender, push-seq) transmission key of the delivery
+// whose Handle is executing, or the zero key for Init. Dense global
+// sequence numbers do not exist until the post-run replay, so causes
+// travel as transmission keys and are resolved to SendEvent.Cause
+// through the replay's seqOf map (replay.go).
+type causeKey struct {
+	from int32
+	seq  int64
+}
+
 // mailItem is one cross-shard event in flight between two barriers.
 // The payload rides along because arena slots are shard-local: the
 // receiver re-homes the payload into its own arena when draining.
@@ -105,6 +116,16 @@ type shard struct {
 	probes   []probeRec
 	curKey   probeKey
 	curIntra int32
+
+	// Causal-parent threading, the shard-local mirror of the serial
+	// engine's curCause/msgSeq pair: msgCause parallels msgs, holding
+	// each slot's own transmission key — or, for timer slots, the cause
+	// of the event that scheduled the timer — and curCause is the key
+	// of the event whose Handle is currently executing (zero during
+	// Init). Timers always stay on their own shard, so the stored key
+	// never crosses a barrier unresolved.
+	curCause causeKey
+	msgCause []causeKey
 
 	// Accounting, merged into Network.stats after the workers stop.
 	// UsedEdges is per-shard and OR-merged so no two workers share a
@@ -161,7 +182,7 @@ func (c *shardNodeCtx) ScheduleTimer(delay int64, m Message) {
 	}
 	s := c.sh
 	c.seq++
-	slot := s.allocSlot(m)
+	slot := s.allocSlot(m, s.curCause)
 	s.queue.Push(event{at: s.now + delay, seq: c.seq, to: int32(c.id), from: int32(c.id), msgIdx: slot, flags: flagTimer})
 	s.stats.Timers++
 }
@@ -192,15 +213,20 @@ func (s *shard) classID(c Class) int {
 
 // allocSlot mirrors Network.allocSlot on the shard's own arena. Probe
 // sequence numbers are not tracked here: the replay identifies
-// transmissions by their (from, seq) event key instead.
-func (s *shard) allocSlot(m Message) int32 {
+// transmissions by their (from, seq) event key instead. ck is the
+// slot's causal tag — the event's own transmission key, or, for timer
+// slots, the scheduling event's cause (the counterpart of the serial
+// engine storing a cause in msgSeq for timers).
+func (s *shard) allocSlot(m Message, ck causeKey) int32 {
 	if k := len(s.msgFree); k > 0 {
 		slot := s.msgFree[k-1]
 		s.msgFree = s.msgFree[:k-1]
 		s.msgs[slot] = m
+		s.msgCause[slot] = ck
 		return slot
 	}
 	s.msgs = append(s.msgs, m)
+	s.msgCause = append(s.msgCause, ck)
 	return int32(len(s.msgs) - 1)
 }
 
@@ -232,6 +258,7 @@ func (s *shard) send(nc *shardNodeCtx, to graph.NodeID, m Message, cl Class) {
 				s.probes = append(s.probes, probeRec{
 					key: s.curKey, intra: s.curIntra, kind: probeSend,
 					tfrom: int32(nc.id), tseq: nc.seq,
+					cfrom: s.curCause.from, cseq: s.curCause.seq,
 					at: s.now, arrive: s.now, w: w,
 					from: nc.id, to: to, edge: h.eid, class: cl, m: m,
 				})
@@ -286,13 +313,14 @@ func (s *shard) schedule(h *halfEdge, nc *shardNodeCtx, to graph.NodeID, m Messa
 	if t := s.plan.shardOf[to]; t != s.id {
 		s.out[t] = append(s.out[t], mailItem{ev: ev, m: m})
 	} else {
-		ev.msgIdx = s.allocSlot(m)
+		ev.msgIdx = s.allocSlot(m, causeKey{from: ev.from, seq: ev.seq})
 		s.queue.Push(ev)
 	}
 	if n.obs != nil {
 		s.probes = append(s.probes, probeRec{
 			key: s.curKey, intra: s.curIntra, kind: probeSend,
 			tfrom: int32(nc.id), tseq: nc.seq,
+			cfrom: s.curCause.from, cseq: s.curCause.seq,
 			at: s.now, arrive: at, delay: d, w: h.w,
 			from: nc.id, to: to, edge: h.eid, class: cl, dup: flags&flagDup != 0, m: m,
 		})
@@ -314,6 +342,7 @@ func (s *shard) runInits() {
 		}
 		s.curKey = probeKey{at: 0, from: v, seq: 0}
 		s.curIntra = 0
+		s.curCause = causeKey{} // Init sends have no causal parent
 		n.procs[v].Init(&s.eng.sctxs[v])
 	}
 	s.now = 0
@@ -333,7 +362,7 @@ func (s *shard) drainMail() {
 		}
 		for i := range box {
 			ev := box[i].ev
-			ev.msgIdx = s.allocSlot(box[i].m)
+			ev.msgIdx = s.allocSlot(box[i].m, causeKey{from: ev.from, seq: ev.seq})
 			s.queue.Push(ev)
 			box[i] = mailItem{} // release the payload reference
 		}
@@ -371,6 +400,10 @@ func (s *shard) process(horizon int64) {
 		s.sinceFlush++
 		s.curKey = probeKey{at: ev.at, from: ev.from, seq: ev.seq}
 		s.curIntra = 0
+		// Serial mirror of n.curCause = n.msgSeq[ev.msgIdx]: a
+		// delivery's slot carries its own transmission key, a timer's
+		// slot carries the scheduling event's cause.
+		s.curCause = s.msgCause[ev.msgIdx]
 		m := s.msgs[ev.msgIdx]
 		s.msgs[ev.msgIdx] = nil
 		s.msgFree = append(s.msgFree, ev.msgIdx)

@@ -10,12 +10,23 @@ type SendEvent struct {
 	Arrive int64 // scheduled delivery time, after the FIFO / congestion shift
 	Delay  int64 // transit delay the delay model drew for this message
 	Seq    int64 // global send sequence number (1-based); unique and dense per run
-	W      int64 // edge weight = the weighted communication cost of this message
-	From   graph.NodeID
-	To     graph.NodeID
-	Edge   graph.EdgeID
-	Class  Class
-	Dup    bool // fault-injected duplicate copy (not accounted in Stats)
+	// Cause is the happens-before parent of this transmission: the Seq
+	// of the delivery whose Handle issued the send, or 0 when the send
+	// was issued from Init. Sends issued from a timer callback
+	// (TimerContext) inherit the cause of the event that scheduled the
+	// timer — timers are free and carry no sequence number of their
+	// own, so the causal chain collapses across them and the timer's
+	// waiting time shows up as trigger gap (Time - parent's arrival)
+	// rather than as an extra hop. Observers can reconstruct the full
+	// happens-before DAG of a run from (Seq, Cause) pairs alone; see
+	// internal/obs.Causal.
+	Cause int64
+	W     int64 // edge weight = the weighted communication cost of this message
+	From  graph.NodeID
+	To    graph.NodeID
+	Edge  graph.EdgeID
+	Class Class
+	Dup   bool // fault-injected duplicate copy (not accounted in Stats)
 }
 
 // Wait returns the time the message spends queued behind the edge's

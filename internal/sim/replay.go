@@ -46,11 +46,14 @@ const (
 // buffered even without an observer: they carry the run's trace
 // points.
 type probeRec struct {
-	key    probeKey
-	intra  int32
-	kind   uint8
-	tfrom  int32
-	tseq   int64
+	key   probeKey
+	intra int32
+	kind  uint8
+	tfrom int32
+	tseq  int64
+	cfrom int32 // send: causal parent's transmission key (zero key = Init)
+	cseq  int64
+
 	at     int64 // probe time
 	arrive int64 // send: scheduled arrival
 	delay  int64 // send: drawn transit delay
@@ -139,8 +142,13 @@ func (eng *parEngine) replay() {
 		case probeSend:
 			n.sendSeq++
 			seqOf[[2]int64{int64(r.tfrom), r.tseq}] = n.sendSeq
+			// The causal parent's own OnSend replays strictly earlier
+			// (its send batch key precedes this one), so its global seq
+			// is already in seqOf; the zero key (Init cause) is never
+			// stored and resolves to 0, matching the serial engine.
 			n.obs.OnSend(SendEvent{
-				Time: r.at, Arrive: r.arrive, Delay: r.delay, Seq: n.sendSeq, W: r.w,
+				Time: r.at, Arrive: r.arrive, Delay: r.delay, Seq: n.sendSeq,
+				Cause: seqOf[[2]int64{int64(r.cfrom), r.cseq}], W: r.w,
 				From: r.from, To: r.to, Edge: r.edge, Class: r.class, Dup: r.dup,
 			}, r.m)
 		case probeDeliver:

@@ -404,10 +404,11 @@ type Network struct {
 	queue      pq.Heap[event]
 	now        int64
 	sendSeq    int64   // probe sequence: one per OnSend-visible transmission, dense 1..S
+	curCause   int64   // probe seq of the delivery being handled (0 during Init); SendEvent.Cause
 	lastArrive []int64 // directed-edge ID -> last scheduled arrival (FIFO) / busy-until (congested)
 	nbr        [][]halfEdge
 	msgs       []Message // in-flight payload arena, indexed by event.msgIdx
-	msgSeq     []int64   // arena slot -> probe sequence (0 for timers), parallel to msgs
+	msgSeq     []int64   // arena slot -> probe sequence of the transmission; for timer slots, the scheduling event's cause (see ScheduleTimer)
 	msgFree    []int32   // free slots in msgs
 	delayIsMax bool      // devirtualized fast path for the default DelayMax
 	stats      Stats
@@ -568,6 +569,7 @@ func (n *Network) resetRunState() {
 	n.queue.Reset()
 	n.now = 0
 	n.sendSeq = 0
+	n.curCause = 0
 	clear(n.lastArrive)
 	clear(n.msgs) // release payload references before truncating
 	n.msgs = n.msgs[:0]
@@ -785,7 +787,11 @@ type TimerContext interface {
 
 var _ TimerContext = (*nodeCtx)(nil)
 
-// ScheduleTimer implements TimerContext.
+// ScheduleTimer implements TimerContext. The timer slot's msgSeq entry
+// holds the *current causal parent* rather than a probe sequence:
+// timers never reach OnSend/OnDeliver, so when the timer fires the
+// stored value becomes curCause directly and the happens-before chain
+// collapses across the (free) timer hop.
 //
 //costsense:hotpath
 func (c *nodeCtx) ScheduleTimer(delay int64, m Message) {
@@ -794,7 +800,7 @@ func (c *nodeCtx) ScheduleTimer(delay int64, m Message) {
 	}
 	n := c.net
 	c.seq++
-	slot := n.allocSlot(m, 0)
+	slot := n.allocSlot(m, n.curCause)
 	n.queue.Push(event{at: n.now + delay, seq: c.seq, to: int32(c.id), from: int32(c.id), msgIdx: slot, flags: flagTimer})
 	n.stats.Timers++
 }
@@ -855,7 +861,7 @@ func (n *Network) send(from, to graph.NodeID, m Message, cl Class) {
 			n.sendSeq++
 			if n.obs != nil {
 				n.obs.OnSend(SendEvent{
-					Time: n.now, Arrive: n.now, Delay: 0, Seq: n.sendSeq, W: w,
+					Time: n.now, Arrive: n.now, Delay: 0, Seq: n.sendSeq, Cause: n.curCause, W: w,
 					From: from, To: to, Edge: h.eid, Class: cl,
 				}, m)
 				n.obs.OnDrop(DropEvent{
@@ -914,7 +920,7 @@ func (n *Network) schedule(h *halfEdge, nc *nodeCtx, to graph.NodeID, m Message,
 		// SendEvent is all scalars and passed by value: the probe adds
 		// one branch and no allocation to the unobserved path.
 		n.obs.OnSend(SendEvent{
-			Time: n.now, Arrive: at, Delay: d, Seq: n.sendSeq, W: h.w,
+			Time: n.now, Arrive: at, Delay: d, Seq: n.sendSeq, Cause: n.curCause, W: h.w,
 			From: nc.id, To: to, Edge: h.eid, Class: cl, Dup: flags&flagDup != 0,
 		}, m)
 	}
@@ -988,6 +994,12 @@ func (n *Network) run() (*Stats, error) {
 		}
 		m := n.msgs[ev.msgIdx]
 		sseq := n.msgSeq[ev.msgIdx]
+		// Causal parent for any sends this event's Handle issues: the
+		// delivery's own probe seq, or — for timer slots — the stored
+		// cause of the event that scheduled the timer (see
+		// ScheduleTimer). Unconditional scalar store; no branch, no
+		// alloc, so the nil-observer hot path is unchanged.
+		n.curCause = sseq
 		n.msgs[ev.msgIdx] = nil
 		n.msgFree = append(n.msgFree, ev.msgIdx)
 		if n.faults != nil && n.faults.crashAt[ev.to] <= n.now {

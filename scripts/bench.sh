@@ -3,10 +3,11 @@
 #
 # Runs the pure-engine throughput benchmark (BenchmarkEngineFlood:
 # flooding on a 5000-node / 40000-edge random graph), its
-# observer-attached twin (BenchmarkEngineObserved) and its
-# fault-injected twin (BenchmarkEngineFaulty, informational) several
-# times and records the averaged numbers next to the frozen
-# pre-optimization baseline. Run from the repository root:
+# observer-attached twins (BenchmarkEngineObserved,
+# BenchmarkEngineCausal) and its fault-injected twin
+# (BenchmarkEngineFaulty, informational) several times and records the
+# averaged numbers next to the frozen pre-optimization baseline. Run
+# from the repository root:
 #
 #   ./scripts/bench.sh
 #
@@ -45,7 +46,7 @@ fi
 # = a 100-trial sweep) tracks the experiment service's substrate-cache
 # + pooled-Reset win; BENCH_SWEEP=0 skips it.
 {
-	go test -run '^$' -bench '^BenchmarkEngine(Flood|Observed|Faulty)$' -benchmem \
+	go test -run '^$' -bench '^BenchmarkEngine(Flood|Observed|Causal|Faulty)$' -benchmem \
 		-benchtime "${BENCH_TIME:-5x}" -count "$COUNT" .
 	if [ "${BENCH_SHARDED:-1}" = "1" ]; then
 		go test -run '^$' -bench '^BenchmarkEngineSharded(Serial)?$' -benchmem \

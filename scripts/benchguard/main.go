@@ -33,6 +33,7 @@ type run struct {
 type doc struct {
 	Current       run  `json:"current"`
 	Observed      *run `json:"observed"`
+	Causal        *run `json:"causal"`
 	Faulty        *run `json:"faulty"`
 	ShardedSerial *run `json:"sharded_serial"`
 	Sharded       *run `json:"sharded"`
@@ -92,6 +93,12 @@ func guard(args []string) error {
 	if freshObs, err := loadObserved(args[1]); err == nil && freshObs != nil && fresh.NsPerOp > 0 {
 		fmt.Printf("observer on: %.0f ns/op vs %.0f off (%+.1f%%, informational)\n",
 			freshObs.NsPerOp, fresh.NsPerOp, (freshObs.NsPerOp/fresh.NsPerOp-1)*100)
+	}
+	// The causal twin is informational for the same reason: the gated
+	// nil-observer numbers already prove the probe threading free.
+	if d, err := loadDoc(args[1]); err == nil && d.Causal != nil && fresh.NsPerOp > 0 {
+		fmt.Printf("causal on:   %.0f ns/op vs %.0f off (%+.1f%%, informational; DAG + critical path)\n",
+			d.Causal.NsPerOp, fresh.NsPerOp, (d.Causal.NsPerOp/fresh.NsPerOp-1)*100)
 	}
 	// The fault-injected twin is informational too: its workload differs
 	// (drops prune the flood), so only the nil-fault path gates.

@@ -2,6 +2,7 @@
 // benchmarks into BENCH_sim.json. It reads the benchmark output on
 // stdin, averages the BenchmarkEngineFlood (nil observer),
 // BenchmarkEngineObserved (metrics observer attached),
+// BenchmarkEngineCausal (causal observer attached),
 // BenchmarkEngineFaulty (fault plan active) and the sharded-engine
 // pair BenchmarkEngineShardedSerial / BenchmarkEngineSharded lines,
 // and emits a JSON document holding the frozen pre-optimization
@@ -62,7 +63,7 @@ var baseline = run{
 // runs. It is the single source of derived numbers: both fresh
 // measurement and -recompute go through it, so the committed ratio
 // strings can never legitimately disagree with the committed fields.
-func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded, sweepFresh, sweepPooled *run) {
+func derive(doc map[string]any, base, flood, observed, causal, faulty, shSerial, sharded, sweepFresh, sweepPooled *run) {
 	doc["improvement"] = map[string]string{
 		"events_per_sec": fmt.Sprintf("%.2fx", flood.EventsPerSec/base.EventsPerSec),
 		"allocs_per_op":  fmt.Sprintf("%.1fx fewer", base.AllocsPerOp/flood.AllocsPerOp),
@@ -72,6 +73,12 @@ func derive(doc map[string]any, base, flood, observed, faulty, shSerial, sharded
 		doc["observer_overhead"] = map[string]string{
 			"ns_per_op":     fmt.Sprintf("%+.1f%%", (observed.NsPerOp/flood.NsPerOp-1)*100),
 			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", observed.AllocsPerOp),
+		}
+	}
+	if causal != nil {
+		doc["causal_overhead"] = map[string]string{
+			"ns_per_op":     fmt.Sprintf("%+.1f%% (DAG recording + one critical-path extraction per run)", (causal.NsPerOp/flood.NsPerOp-1)*100),
+			"allocs_per_op": fmt.Sprintf("%.0f (amortized per run, not per event)", causal.AllocsPerOp),
 		}
 	}
 	if faulty != nil {
@@ -115,6 +122,9 @@ func main() {
 	if runs.observed != nil {
 		doc["observed"] = runs.observed
 	}
+	if runs.causal != nil {
+		doc["causal"] = runs.causal
+	}
 	if runs.faulty != nil {
 		doc["faulty"] = runs.faulty
 	}
@@ -132,7 +142,7 @@ func main() {
 		doc["sweep_pooled"] = runs.sweepPooled
 		doc["sweep_workload"] = "100-trial flood sweep on RandomConnected(2000, 6000, UniformWeights(64, 21), 21); fresh rebuilds graph+network per trial, pooled shares one substrate and recycles networks via sim.Pool (the `costsense serve` job shape)"
 	}
-	derive(doc, &baseline, runs.flood, runs.observed, runs.faulty, runs.shSerial, runs.sharded, runs.sweepFresh, runs.sweepPooled)
+	derive(doc, &baseline, runs.flood, runs.observed, runs.causal, runs.faulty, runs.shSerial, runs.sharded, runs.sweepFresh, runs.sweepPooled)
 	emit(doc)
 }
 
@@ -198,6 +208,10 @@ func recompute(args []string) error {
 	if err != nil {
 		return err
 	}
+	causal, err := pick("causal")
+	if err != nil {
+		return err
+	}
 	faulty, err := pick("faulty")
 	if err != nil {
 		return err
@@ -218,7 +232,7 @@ func recompute(args []string) error {
 	if err != nil {
 		return err
 	}
-	derive(doc, base, flood, observed, faulty, shSerial, sharded, sweepFresh, sweepPooled)
+	derive(doc, base, flood, observed, causal, faulty, shSerial, sharded, sweepFresh, sweepPooled)
 	emit(doc)
 	return nil
 }
@@ -227,6 +241,7 @@ func recompute(args []string) error {
 type engineRuns struct {
 	flood       *run
 	observed    *run
+	causal      *run
 	faulty      *run
 	shSerial    *run
 	sharded     *run
@@ -243,7 +258,7 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 		run
 		n int
 	}
-	var flood, obs, flt, shs, shp, swf, swp acc
+	var flood, obs, cau, flt, shs, shp, swf, swp acc
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -265,6 +280,8 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 			a = &flood
 		case strings.HasPrefix(f[0], "BenchmarkEngineObserved"):
 			a = &obs
+		case strings.HasPrefix(f[0], "BenchmarkEngineCausal"):
+			a = &cau
 		case strings.HasPrefix(f[0], "BenchmarkEngineFaulty"):
 			a = &flt
 		case strings.HasPrefix(f[0], "BenchmarkEngineShardedSerial"):
@@ -305,6 +322,7 @@ func parse(r io.Reader) (*engineRuns, int, error) {
 	runs := &engineRuns{
 		flood:       avg(&flood, "shared 4-ary heap + dense accounting (this tree)"),
 		observed:    avg(&obs, "same engine, full metrics observer attached (BenchmarkEngineObserved)"),
+		causal:      avg(&cau, "same engine, causal observer attached: happens-before DAG + critical path (BenchmarkEngineCausal)"),
 		faulty:      avg(&flt, "same engine, fault plan active: drop 5%, dup 2%, one outage, one crash (BenchmarkEngineFaulty)"),
 		shSerial:    avg(&shs, "serial engine on the sharded benchmark workload (BenchmarkEngineShardedSerial)"),
 		sharded:     avg(&shp, "sharded engine, WithShards(4), conservative lookahead windows (BenchmarkEngineSharded)"),

@@ -11,8 +11,10 @@
 #   3. the two result payloads are byte-identical (cache hit vs miss
 #      must not change a single byte);
 #   4. the progress stream terminates with the job's terminal status;
-#   5. a spec overflowing the queue is bounced with 429 + Retry-After;
-#   6. SIGTERM drains and exits 0.
+#   5. the /metrics exposition reports the finished jobs, populated
+#      latency histograms and the cache counters;
+#   6. a spec overflowing the queue is bounced with 429 + Retry-After;
+#   7. SIGTERM drains and exits 0.
 #
 # Runs locally and in CI's serve-smoke job:
 #
@@ -112,6 +114,28 @@ ID3="$(submit)"
 curl -sf --max-time 60 "$BASE/api/v1/jobs/$ID3/stream" >"$TMP/stream.ndjson"
 tail -n 1 "$TMP/stream.ndjson" | grep -q '"state":"done"' ||
 	fail "stream did not end with a terminal done status: $(tail -n 1 "$TMP/stream.ndjson")"
+
+echo "== scrape /metrics"
+curl -sf "$BASE/metrics" >"$TMP/metrics.txt"
+metric() {
+	# $1 = exact series name (labels included); prints its value. The
+	# names contain no BRE metacharacters, so they embed verbatim.
+	sed -n "s/^$1 //p" "$TMP/metrics.txt"
+}
+DONE_JOBS="$(metric 'costsense_jobs{state="done"}')"
+[ "${DONE_JOBS:-0}" -ge 3 ] || fail "/metrics reports $DONE_JOBS done jobs, want >= 3"
+SUBMITTED="$(metric costsense_jobs_submitted_total)"
+[ "${SUBMITTED:-0}" -ge 3 ] || fail "/metrics reports $SUBMITTED submissions, want >= 3"
+DUR_COUNT="$(metric costsense_job_duration_seconds_count)"
+[ "${DUR_COUNT:-0}" -ge 3 ] || fail "duration histogram counts $DUR_COUNT jobs, want >= 3"
+grep -q '^costsense_job_duration_seconds_bucket{le="+Inf"} ' "$TMP/metrics.txt" ||
+	fail "duration histogram lacks the +Inf bucket"
+MISSES="$(metric costsense_cache_misses_total)"
+[ "${MISSES:-0}" -ge 1 ] || fail "/metrics reports no cache misses after a cold job"
+HITS_M="$(metric costsense_cache_hits_total)"
+[ "${HITS_M:-0}" -ge 1 ] || fail "/metrics reports no cache hits after a warm job"
+grep -q '^# TYPE costsense_job_queue_wait_seconds histogram$' "$TMP/metrics.txt" ||
+	fail "queue-wait histogram metadata missing"
 
 echo "== backpressure: overflow the queue"
 # A long job ties up the scheduler; the queue (cap 2) then fills and
