@@ -9,8 +9,11 @@
 //	costsense [flags] exp all      run every experiment
 //	costsense list                 list experiment ids
 //	costsense serve [flags]        persistent experiment service (HTTP API
-//	                               with substrate cache; see README,
-//	                               "Server mode")
+//	                               with substrate cache and, with -journal,
+//	                               crash recovery; see README, "Server mode")
+//	costsense jobrun [flags]       submit one spec to a running server and
+//	                               follow it to completion, resuming the
+//	                               stream across server restarts
 //
 // Observability flags (see DESIGN.md, "Observability"):
 //
@@ -114,6 +117,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:])
+	case "jobrun":
+		return runJobrun(args[1:])
 	case "verify":
 		return verifyAll()
 	case "list":
@@ -165,7 +170,7 @@ func runOne(e experiment) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-critpath f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify | serve [-addr a] [-queue n] [-cache-mb n] [-drain d]}")
+	return fmt.Errorf("usage: costsense [-trace f] [-metrics f] [-critpath f] [-progress] [-http addr] [-shards n] [-faults spec] {list | exp <id> | exp all | verify | serve [-addr a] [-queue n] [-cache-mb n] [-drain d] [-journal f] [-job-timeout d] | jobrun [-server url] [-spec f]}")
 }
 
 // ratio formats a measured/bound quotient.

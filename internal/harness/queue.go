@@ -25,14 +25,21 @@ type Job func(context.Context)
 // Queue is a bounded FIFO job queue with non-blocking admission — the
 // backpressure primitive of the experiment server. Producers TrySubmit
 // from any goroutine and get ErrQueueFull instead of blocking when the
-// bound is hit; a single Run loop executes jobs in admission order, so
-// each job's trials own the whole worker pool and two jobs never
-// interleave their simulator runs (which keeps per-worker sim.Pool
-// reuse sound).
+// bound is hit; recovery re-admission uses the blocking Submit, which
+// waits for space instead (a restart must never drop a journaled job
+// to a full queue). A single Run loop executes jobs in admission
+// order, so each job's trials own the whole worker pool and two jobs
+// never interleave their simulator runs (which keeps per-worker
+// sim.Pool reuse sound).
+//
+// The jobs channel is never closed — shutdown is signalled through
+// closedCh instead, so a Submit blocked in a channel send can never
+// race a close into a panic.
 type Queue struct {
-	mu     sync.Mutex
-	jobs   chan Job
-	closed bool
+	mu       sync.Mutex
+	jobs     chan Job
+	closed   bool
+	closedCh chan struct{} // closed by Close; wakes blocked Submits and Run
 }
 
 // NewQueue builds a queue admitting at most capacity pending jobs
@@ -41,7 +48,7 @@ func NewQueue(capacity int) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Queue{jobs: make(chan Job, capacity)}
+	return &Queue{jobs: make(chan Job, capacity), closedCh: make(chan struct{})}
 }
 
 // TrySubmit enqueues j without blocking: ErrQueueFull when the queue
@@ -60,6 +67,32 @@ func (q *Queue) TrySubmit(j Job) error {
 	}
 }
 
+// Submit enqueues j, blocking until space frees up, the queue closes
+// (ErrQueueClosed), or ctx is cancelled (ctx.Err()). It is the
+// admission path for work that must not be dropped — the experiment
+// server's restart recovery re-enqueues journaled jobs through it —
+// while interactive submissions keep the fail-fast TrySubmit/429 path.
+//
+// A Submit racing Close may still win the send; the job is then either
+// executed by Run's drain pass or left for the caller's shutdown
+// bookkeeping, exactly like a job admitted just before Close.
+func (q *Queue) Submit(ctx context.Context, j Job) error {
+	q.mu.Lock()
+	closed := q.closed
+	q.mu.Unlock()
+	if closed {
+		return ErrQueueClosed
+	}
+	select {
+	case q.jobs <- j:
+		return nil
+	case <-q.closedCh:
+		return ErrQueueClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Len reports the number of jobs admitted but not yet started.
 func (q *Queue) Len() int { return len(q.jobs) }
 
@@ -73,7 +106,7 @@ func (q *Queue) Close() {
 	defer q.mu.Unlock()
 	if !q.closed {
 		q.closed = true
-		close(q.jobs)
+		close(q.closedCh)
 	}
 }
 
@@ -94,11 +127,29 @@ func (q *Queue) Run(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case j, ok := <-q.jobs:
-			if !ok {
-				return
-			}
+		case j := <-q.jobs:
 			j(ctx)
+		case <-q.closedCh:
+			q.drain(ctx)
+			return
+		}
+	}
+}
+
+// drain runs the backlog left in the buffer at Close, still honoring
+// cancellation between jobs, and returns at the first empty poll.
+func (q *Queue) drain(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		select {
+		case j := <-q.jobs:
+			j(ctx)
+		default:
+			return
 		}
 	}
 }

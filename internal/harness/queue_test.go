@@ -190,3 +190,69 @@ func TestRunIndexedPooledNilState(t *testing.T) {
 		t.Fatalf("unexpected results %v", out)
 	}
 }
+
+// TestQueueSubmitBlocksForSpace: the blocking Submit parks on a full
+// queue and completes as soon as the consumer frees a slot — the
+// no-drop admission path recovery re-enqueues journaled jobs through.
+func TestQueueSubmitBlocksForSpace(t *testing.T) {
+	q := NewQueue(1)
+	nop := func(context.Context) {}
+	if err := q.Submit(context.Background(), nop); err != nil {
+		t.Fatal(err)
+	}
+	submitted := make(chan error, 1)
+	go func() { submitted <- q.Submit(context.Background(), nop) }()
+	select {
+	case err := <-submitted:
+		t.Fatalf("Submit on a full queue returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Draining one job frees the slot and unblocks the Submit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { q.Run(ctx); close(done) }()
+	if err := <-submitted; err != nil {
+		t.Fatalf("Submit after space freed: %v", err)
+	}
+	q.Close()
+	<-done
+}
+
+// TestQueueSubmitCtxCancel: a blocked Submit honors its context.
+func TestQueueSubmitCtxCancel(t *testing.T) {
+	q := NewQueue(1)
+	nop := func(context.Context) {}
+	if err := q.Submit(context.Background(), nop); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	submitted := make(chan error, 1)
+	go func() { submitted <- q.Submit(ctx, nop) }()
+	cancel()
+	if err := <-submitted; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Submit: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestQueueSubmitUnblocksOnClose: Close wakes a parked Submit with
+// ErrQueueClosed instead of leaving it hung on a queue nothing will
+// ever drain.
+func TestQueueSubmitUnblocksOnClose(t *testing.T) {
+	q := NewQueue(1)
+	nop := func(context.Context) {}
+	if err := q.Submit(context.Background(), nop); err != nil {
+		t.Fatal(err)
+	}
+	submitted := make(chan error, 1)
+	go func() { submitted <- q.Submit(context.Background(), nop) }()
+	time.Sleep(10 * time.Millisecond) // let it park
+	q.Close()
+	if err := <-submitted; !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit across Close: err = %v, want ErrQueueClosed", err)
+	}
+	if err := q.Submit(context.Background(), nop); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("Submit after Close: err = %v, want ErrQueueClosed", err)
+	}
+}

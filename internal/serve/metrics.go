@@ -151,6 +151,10 @@ func (s *Server) renderMetrics(b *bytes.Buffer, now int64) {
 	writeLabeled(b, "costsense_jobs", "state", "failed", byState[jobFailed])
 	writeScalar(b, "costsense_jobs_submitted_total", "Jobs admitted onto the queue.", "counter", int64(len(snaps)))
 	writeScalar(b, "costsense_jobs_rejected_total", "Submissions rejected (queue full or draining).", "counter", s.rejected.Load())
+	writeScalar(b, "costsense_jobs_recovered_total", "Journaled incomplete jobs re-enqueued at startup.", "counter", s.recovered.Load())
+	writeScalar(b, "costsense_jobs_expired_total", "Jobs failed by their deadline (reason=deadline).", "counter", s.expired.Load())
+	writeScalar(b, "costsense_jobs_panicked_total", "Jobs failed by a panicking sweep (reason=panic).", "counter", s.panicked.Load())
+	writeScalar(b, "costsense_journal_errors_total", "Journal append failures (durability degraded).", "counter", s.journalErrs.Load())
 	writeScalar(b, "costsense_trials_completed_total", "Trials completed across all jobs.", "counter", trialsTotal)
 	writeScalar(b, "costsense_queue_depth", "Admitted-but-unstarted jobs.", "gauge", int64(s.queue.Len()))
 	writeScalar(b, "costsense_queue_capacity", "Queue bound; submissions beyond it get 429.", "gauge", int64(s.queue.Cap()))

@@ -36,12 +36,19 @@ func stateName(s int32) string {
 	return "failed"
 }
 
+// errJobDeadline is the cancellation cause installed by a job's
+// deadline context, so runJob can tell an expired deadline from a
+// drain cutting the same sweep off.
+var errJobDeadline = errors.New("serve: job deadline exceeded")
+
 // Job is one admitted experiment submission. Its mutable fields are
 // written by the scheduler goroutine and read by HTTP handlers, hence
-// the atomics; result and errMsg are published by closing finished.
+// the atomics; result, errMsg and failReason are published by the
+// atomic state store and by closing finished.
 type Job struct {
-	id   string
-	spec Spec
+	id        string
+	spec      Spec
+	recovered bool // re-admitted from the journal at startup (set before publication)
 
 	state      atomic.Int32
 	cached     atomic.Bool // substrate came from the cache (set at start)
@@ -55,9 +62,21 @@ type Job struct {
 	startedAt   atomic.Int64
 	finishedAt  atomic.Int64
 
-	finished chan struct{} // closed after result/errMsg are set
-	result   []byte        // final Result JSON (nil if failed)
-	errMsg   string
+	finished   chan struct{} // closed after result/errMsg/failReason are set
+	result     []byte        // final Result JSON (nil if failed)
+	errMsg     string
+	failReason string // typed reason (ReasonError, ReasonDeadline, ...)
+
+	// The progress log: every status line ever emitted for this job,
+	// in order. Streams serve it from any offset (?from=), which is
+	// what lets a client resume after a disconnect — or a server
+	// restart — without re-reading lines it already has. Appends come
+	// from the scheduler goroutine and trial workers; pnotify is
+	// replaced (old one closed) on every append to wake waiting
+	// streams.
+	pmu     sync.Mutex
+	plines  [][]byte
+	pnotify chan struct{}
 }
 
 // nowUnixNano reads the wall clock for job lifecycle timestamps — the
@@ -68,23 +87,78 @@ func nowUnixNano() int64 {
 }
 
 func newJob(id string, spec Spec) *Job {
-	j := &Job{id: id, spec: spec, finished: make(chan struct{})}
+	j := &Job{id: id, spec: spec, finished: make(chan struct{}), pnotify: make(chan struct{})}
 	j.submittedAt.Store(nowUnixNano())
+	j.plines = append(j.plines, j.statusLine()) // "queued", pre-publication: no lock needed
 	return j
 }
 
 // Job implements harness.Sink to count finished trials for status and
-// streaming. Callbacks fire from worker goroutines; atomics only.
+// streaming. Callbacks fire from worker goroutines; atomics plus the
+// progress mutex only.
 func (j *Job) TrialStart(int) {}
 
 // TrialDone records progress; done is the harness's monotone finished
-// count.
-func (j *Job) TrialDone(_, done, _ int) { j.trialsDone.Store(int64(done)) }
+// count. Every progressStep-th trial also lands a line in the progress
+// log, so streams see steady movement without a per-trial allocation
+// storm on big sweeps.
+func (j *Job) TrialDone(_, done, total int) {
+	j.trialsDone.Store(int64(done))
+	step := total / 64
+	if step < 1 {
+		step = 1
+	}
+	if done%step == 0 || done == total {
+		j.appendProgress()
+	}
+}
+
+// statusLine renders the job's current status as one NDJSON line.
+func (j *Job) statusLine() []byte {
+	b, err := json.Marshal(j.status())
+	if err != nil {
+		// A JobStatus is plain strings and numbers; Marshal cannot
+		// fail on it. Keep the stream well-formed regardless.
+		return []byte("{}\n")
+	}
+	return append(b, '\n')
+}
+
+// appendProgress appends the current status to the progress log and
+// wakes every waiting stream.
+func (j *Job) appendProgress() {
+	line := j.statusLine()
+	j.pmu.Lock()
+	j.plines = append(j.plines, line)
+	close(j.pnotify)
+	j.pnotify = make(chan struct{})
+	j.pmu.Unlock()
+}
+
+// progressSince returns the log lines at and after offset from, the
+// channel that will signal the next append, and whether the log is
+// complete (the job is terminal and from has reached the end — the
+// terminal line is always appended before finished closes).
+func (j *Job) progressSince(from int) (lines [][]byte, notify <-chan struct{}, done bool) {
+	j.pmu.Lock()
+	defer j.pmu.Unlock()
+	if from < len(j.plines) {
+		lines = j.plines[from:]
+	}
+	select {
+	case <-j.finished:
+		done = from+len(lines) >= len(j.plines)
+	default:
+	}
+	return lines, j.pnotify, done
+}
 
 // JobStatus is the wire form of a job's current state. SubstrateCached
 // lives here — in the *status*, never in the result — because whether
 // the substrate was a cache hit is scheduling history, not experiment
-// output: results must stay byte-identical across submissions.
+// output: results must stay byte-identical across submissions. The
+// same holds for Recovered (the job was re-enqueued from the journal
+// after a restart) and Reason (why it failed).
 type JobStatus struct {
 	ID          string `json:"id"`
 	State       string `json:"state"`
@@ -93,8 +167,13 @@ type JobStatus struct {
 	TrialsTotal int    `json:"trials_total"`
 	// SubstrateCached reports whether the job's substrate came from
 	// the cache; present once the job has started.
-	SubstrateCached *bool  `json:"substrate_cached,omitempty"`
-	Error           string `json:"error,omitempty"`
+	SubstrateCached *bool `json:"substrate_cached,omitempty"`
+	// Recovered marks a job re-admitted from the journal at startup.
+	Recovered bool `json:"recovered,omitempty"`
+	// Reason is the typed failure class (error, deadline, panic,
+	// shutdown, killed); present on failed jobs.
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
 	// Lifecycle timestamps, RFC 3339 with nanoseconds; started_at and
 	// finished_at appear once the job reaches that state. Status-only
 	// scheduling history — the result JSON carries none of these.
@@ -120,13 +199,15 @@ func (j *Job) status() JobStatus {
 		Experiment:  j.spec.Experiment,
 		TrialsDone:  j.trialsDone.Load(),
 		TrialsTotal: j.spec.Trials,
+		Recovered:   j.recovered,
 	}
-	if st != jobQueued {
+	if st == jobRunning || (st >= jobDone && j.startedAt.Load() != 0) {
 		cached := j.cached.Load()
 		s.SubstrateCached = &cached
 	}
 	if st == jobFailed {
 		s.Error = j.errMsg
+		s.Reason = j.failReason
 	}
 	s.SubmittedAt = stampRFC3339(j.submittedAt.Load())
 	s.StartedAt = stampRFC3339(j.startedAt.Load())
@@ -138,13 +219,17 @@ func (j *Job) complete(result []byte) {
 	j.result = result
 	j.finishedAt.Store(nowUnixNano())
 	j.state.Store(jobDone)
+	j.appendProgress() // terminal line lands before finished closes
 	close(j.finished)
 }
 
-func (j *Job) fail(msg string) {
+// fail moves the job to failed with a typed reason and human detail.
+func (j *Job) fail(reason, msg string) {
 	j.errMsg = msg
+	j.failReason = reason
 	j.finishedAt.Store(nowUnixNano())
 	j.state.Store(jobFailed)
+	j.appendProgress() // terminal line lands before finished closes
 	close(j.finished)
 }
 
@@ -155,9 +240,21 @@ type Config struct {
 	QueueCap int
 	// CacheBytes bounds the substrate cache (default 256 MiB).
 	CacheBytes int64
-	// StreamInterval is the progress-stream emission period
-	// (default 250ms).
+	// StreamInterval is retained for configs that set it; progress
+	// streams are driven by the job's progress log rather than a
+	// ticker, so it no longer paces emission.
 	StreamInterval time.Duration
+	// JournalPath, when non-empty, enables the durable job journal:
+	// every job state transition is an fsync'd NDJSON record, and the
+	// next startup on the same path re-enqueues incomplete jobs (see
+	// DESIGN.md, "Durability & recovery"). Open the server with Open
+	// to surface journal corruption as an error.
+	JournalPath string
+	// JobTimeout is the default per-job deadline applied to jobs whose
+	// spec carries no timeout_ms of its own; 0 means no deadline. An
+	// expired job fails with reason "deadline" and the scheduler moves
+	// on.
+	JobTimeout time.Duration
 	// DebugHandler, when non-nil, is mounted at /debug/ (the cmd layer
 	// passes the expvar+pprof mux).
 	DebugHandler http.Handler
@@ -168,21 +265,34 @@ type Config struct {
 }
 
 // Server is the costsense experiment service: it admits specs onto a
-// bounded job queue (backpressure via 429), runs them one at a time on
+// bounded job queue (backpressure via 429), journals every job state
+// transition when durability is enabled, runs jobs one at a time on
 // the harness worker pool with pooled simulator state, shares
 // substrates through the content-addressed cache, and serves status,
-// NDJSON progress streams, and byte-deterministic results.
+// resumable NDJSON progress streams, and byte-deterministic results.
+// After a crash, a restart on the same journal path re-enqueues every
+// incomplete job; replaying a spec reproduces its result byte for
+// byte.
 type Server struct {
 	cfg      Config
 	cache    *Cache
 	queue    *harness.Queue
+	journal  *Journal
 	log      *slog.Logger
 	rejected atomic.Int64 // submissions turned away (429/503), for /metrics
+
+	// Robustness counters, surfaced on /metrics.
+	recovered   atomic.Int64 // journaled incomplete jobs re-enqueued at startup
+	expired     atomic.Int64 // jobs failed by their deadline
+	panicked    atomic.Int64 // jobs failed by a panicking sweep
+	journalErrs atomic.Int64 // journal append failures (durability degraded)
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	order  []string // creation order, for listing
 	nextID int
+
+	recoverQ []*Job // journaled incomplete jobs awaiting re-admission, original order
 
 	runCtx    context.Context // cancelled after drain; stops sweeps and streams
 	runCancel context.CancelFunc
@@ -190,8 +300,25 @@ type Server struct {
 	started   atomic.Bool
 }
 
-// New builds a Server. Call Start before serving its Handler.
+// New builds a Server, panicking if the configured journal cannot be
+// opened or is corrupt — the constructor of choice for journal-less
+// configs and tests. Production callers with a journal use Open and
+// handle the error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, recovering journaled state when
+// cfg.JournalPath is set: terminal jobs are restored from their
+// persisted records (done jobs keep their exact result bytes), and
+// incomplete jobs are queued for re-admission when Start launches the
+// scheduler. A corrupt journal fails Open with the decoder's typed
+// error; a torn final line is truncated and tolerated.
+func Open(cfg Config) (*Server, error) {
 	if cfg.QueueCap == 0 {
 		cfg.QueueCap = 16
 	}
@@ -204,7 +331,7 @@ func New(cfg Config) *Server {
 	}
 	//costsense:ctx-ok lifecycle root: the server outlives any one request; Drain cancels runCtx
 	runCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheBytes),
 		queue:     harness.NewQueue(cfg.QueueCap),
@@ -214,13 +341,65 @@ func New(cfg Config) *Server {
 		runCancel: cancel,
 		drained:   make(chan struct{}),
 	}
+	if cfg.JournalPath != "" {
+		jl, rec, err := OpenJournal(cfg.JournalPath)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jl
+		s.restore(rec)
+	}
+	return s, nil
+}
+
+// restore folds the decoded journal into the job table: terminal jobs
+// become immediately-servable history, incomplete ones go on the
+// re-admission list in original submission order. Runs before the
+// server is published, so plain field writes suffice.
+func (s *Server) restore(rec *Recovery) {
+	for _, rj := range rec.Jobs {
+		j := &Job{id: rj.ID, spec: rj.Spec, finished: make(chan struct{}), pnotify: make(chan struct{})}
+		j.submittedAt.Store(rj.SubmittedAt)
+		switch {
+		case rj.Done:
+			j.result = rj.Result
+			j.startedAt.Store(rj.StartedAt)
+			j.finishedAt.Store(rj.FinishedAt)
+			j.trialsDone.Store(int64(rj.Spec.Trials))
+			j.state.Store(jobDone)
+			j.plines = append(j.plines, j.statusLine())
+			close(j.finished)
+		case rj.Failed:
+			j.errMsg = rj.Detail
+			j.failReason = rj.Reason
+			j.startedAt.Store(rj.StartedAt)
+			j.finishedAt.Store(rj.FinishedAt)
+			j.state.Store(jobFailed)
+			j.plines = append(j.plines, j.statusLine())
+			close(j.finished)
+		default:
+			j.recovered = true
+			j.plines = append(j.plines, j.statusLine())
+			s.recoverQ = append(s.recoverQ, j)
+		}
+		s.jobs[rj.ID] = j
+		s.order = append(s.order, rj.ID)
+	}
+	if rec.MaxID > s.nextID {
+		s.nextID = rec.MaxID
+	}
+	if rec.TornTail {
+		s.logEvent("journal torn tail truncated", slog.String("path", s.journal.Path()))
+	}
 }
 
 // Cache exposes the substrate cache (for stats and tests).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// Start launches the scheduler: a single goroutine draining the job
-// queue in admission order. Idempotent.
+// Start launches the scheduler — a single goroutine draining the job
+// queue in admission order — and, after a journaled restart, the
+// recovery goroutine re-admitting incomplete jobs. Idempotent.
 func (s *Server) Start() {
 	if s.started.Swap(true) {
 		return
@@ -229,6 +408,29 @@ func (s *Server) Start() {
 		defer close(s.drained)
 		s.queue.Run(s.runCtx)
 	}()
+	if len(s.recoverQ) > 0 {
+		go s.readmitRecovered()
+	}
+}
+
+// readmitRecovered re-enqueues journaled incomplete jobs in original
+// submission order through the queue's blocking Submit: a restart must
+// never drop a journaled job to a full queue, so recovery waits for
+// space instead of bouncing. New HTTP submissions keep the fail-fast
+// TrySubmit/429 path and may interleave behind the backlog. Terminates
+// with runCtx: a drain during recovery abandons re-admission and
+// leaves the rest for the next start (their journal records are
+// untouched).
+func (s *Server) readmitRecovered() {
+	for _, j := range s.recoverQ {
+		j := j
+		if err := s.queue.Submit(s.runCtx, func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
+			s.logEvent("recovery re-admission stopped", slog.String("job", j.id), slog.String("reason", err.Error()))
+			return
+		}
+		s.recovered.Add(1)
+		s.logEvent("job recovered", slog.String("job", j.id), slog.String("experiment", j.spec.Experiment))
+	}
 }
 
 // Drain gracefully shuts the job pipeline down: stop admitting, let
@@ -236,6 +438,11 @@ func (s *Server) Start() {
 // whatever remains (an in-flight sweep stops between trials) and fail
 // unstarted jobs. After Drain the server only serves reads. Returns
 // ctx.Err() if the deadline cut the drain short, nil if it was clean.
+//
+// Jobs still queued at drain are failed in memory (streams terminate)
+// but keep their journaled submitted records, so the next start on the
+// same journal re-runs them; an in-flight job the deadline cuts off is
+// journaled failed(shutdown) by the runner and is not re-run.
 func (s *Server) Drain(ctx context.Context) error {
 	s.queue.Close()
 	if !s.started.Swap(true) {
@@ -257,33 +464,96 @@ func (s *Server) Drain(ctx context.Context) error {
 	return err
 }
 
+// MarkKilled journals a failed(reason=killed) transition for every
+// in-flight job. The cmd layer calls it when a second termination
+// signal arrives mid-drain — the process is about to die with the
+// sweep unfinished, and without the record the next start would
+// re-run the job blind instead of reporting what killed it.
+func (s *Server) MarkKilled() {
+	s.mu.Lock()
+	var running []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.state.Load() == jobRunning {
+			running = append(running, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range running {
+		//costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+		s.journalAppend(journalRecord{
+			Op: opFailed, Job: j.id, Reason: ReasonKilled,
+			Detail: "second termination signal killed the job mid-drain",
+		})
+		s.logEvent("job killed", slog.String("job", j.id))
+	}
+	// Close the journal so the doomed sweep cannot append a finished
+	// record after the failed(killed) one — that ordering would read as
+	// corruption on the next start. Appends after this point fail into
+	// the journal-error counter; the process is exiting anyway.
+	//costsense:err-ok the process is about to exit; a close error has no one left to act on it
+	s.journal.Close()
+}
+
 // failUnfinished marks every job that will never run (queued at
 // shutdown) or was cut off mid-sweep as failed, so streams and polls
-// terminate.
+// terminate. Collecting under mu and failing outside it keeps the
+// progress-log appends out of the job-table critical section.
 func (s *Server) failUnfinished() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	pending := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
 		j := s.jobs[id]
 		select {
 		case <-j.finished:
 		default:
-			j.fail("server shut down before the job finished")
+			pending = append(pending, j)
 		}
+	}
+	s.mu.Unlock()
+	for _, j := range pending {
+		j.fail(ReasonShutdown, "server shut down before the job finished")
 	}
 }
 
-// runJob executes one admitted job: resolve the substrate through the
-// cache, run the sweep, publish the result bytes.
+// journalAppend writes one journal record, folding failures into the
+// journal-error counter: a dead disk degrades durability but must not
+// take the scheduler with it. Returns the append error for callers
+// that gate on durability (admission does; runner transitions log and
+// proceed).
+func (s *Server) journalAppend(r journalRecord) error {
+	err := s.journal.append(r)
+	if err != nil {
+		s.journalErrs.Add(1)
+		s.logEvent("journal append failed", slog.String("op", r.Op), slog.String("job", r.Job), slog.String("error", err.Error()))
+	}
+	return err
+}
+
+// deadlineFor resolves a job's deadline: the spec's own timeout_ms
+// wins, then the server-wide default; 0 means none.
+func (s *Server) deadlineFor(spec Spec) time.Duration {
+	if spec.TimeoutMS > 0 {
+		return time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.JobTimeout
+}
+
+// runJob executes one admitted job: journal the start, resolve the
+// substrate through the cache, run the sweep under the job's deadline,
+// journal and publish the outcome. A panicking sweep (a protocol bug,
+// a mutated substrate) fails this job — panic value journaled — and
+// leaves the scheduler alive for the next one.
 func (s *Server) runJob(ctx context.Context, j *Job) {
 	defer func() {
 		if r := recover(); r != nil {
-			// A panicking job (a protocol bug, a mutated substrate)
-			// must not take down the scheduler loop with it.
-			j.fail(fmt.Sprintf("job panicked: %v", r))
+			s.panicked.Add(1)
+			msg := fmt.Sprintf("job panicked: %v", r)
+			s.journalAppend(journalRecord{Op: opFailed, Job: j.id, Reason: ReasonPanic, Detail: msg}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+			j.fail(ReasonPanic, msg)
 			s.logJobDone(j)
 		}
 	}()
+	s.journalAppend(journalRecord{Op: opStarted, Job: j.id}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
 	key := j.spec.SubstrateKey()
 	sub, hit := s.cache.GetOrBuild(key, func() *Substrate {
 		return buildSubstrate(key, j.spec.Graph, j.spec.Shards)
@@ -291,22 +561,49 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	j.cached.Store(hit)
 	j.startedAt.Store(nowUnixNano())
 	j.state.Store(jobRunning)
+	j.appendProgress()
 	s.logEvent("job started",
 		slog.String("job", j.id), slog.String("experiment", j.spec.Experiment),
-		slog.Int("trials", j.spec.Trials), slog.Bool("substrate_cached", hit))
-	res, err := runSpec(ctx, j.spec, sub, j)
+		slog.Int("trials", j.spec.Trials), slog.Bool("substrate_cached", hit),
+		slog.Bool("recovered", j.recovered))
+
+	runCtx := ctx
+	deadline := s.deadlineFor(j.spec)
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeoutCause(ctx, deadline, errJobDeadline)
+		defer cancel()
+	}
+	res, err := runSpec(runCtx, j.spec, sub, j)
 	if err != nil {
-		j.fail(err.Error())
+		reason, msg := ReasonError, err.Error()
+		switch {
+		case errors.Is(context.Cause(runCtx), errJobDeadline):
+			reason = ReasonDeadline
+			msg = fmt.Sprintf("deadline %s exceeded after %d/%d trials", deadline, j.trialsDone.Load(), j.spec.Trials)
+			s.expired.Add(1)
+		case ctx.Err() != nil:
+			reason = ReasonShutdown
+			msg = fmt.Sprintf("drain cut the job off after %d/%d trials", j.trialsDone.Load(), j.spec.Trials)
+		}
+		s.journalAppend(journalRecord{Op: opFailed, Job: j.id, Reason: reason, Detail: msg}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+		j.fail(reason, msg)
 		s.logJobDone(j)
 		return
 	}
 	b, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		j.fail(fmt.Sprintf("encoding result: %v", err))
+		msg := fmt.Sprintf("encoding result: %v", err)
+		s.journalAppend(journalRecord{Op: opFailed, Job: j.id, Reason: ReasonError, Detail: msg}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+		j.fail(ReasonError, msg)
 		s.logJobDone(j)
 		return
 	}
-	j.complete(append(b, '\n'))
+	resultBytes := append(b, '\n')
+	// Journal before publishing: once a client can observe "done", the
+	// record that reproduces it on restart is already durable.
+	s.journalAppend(journalRecord{Op: opFinished, Job: j.id, Result: string(resultBytes)}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+	j.complete(resultBytes)
 	s.logJobDone(j)
 }
 
@@ -327,7 +624,7 @@ func (s *Server) logJobDone(j *Job) {
 		slog.Float64("trials_per_sec", rate),
 	}
 	if j.state.Load() == jobFailed {
-		args = append(args, slog.String("error", j.errMsg))
+		args = append(args, slog.String("reason", j.failReason), slog.String("error", j.errMsg))
 	}
 	s.logEvent("job finished", args...)
 }
@@ -340,7 +637,8 @@ func (s *Server) logJobDone(j *Job) {
 //	GET  /api/v1/jobs          all job statuses in creation order
 //	GET  /api/v1/jobs/{id}     one job's status
 //	GET  /api/v1/jobs/{id}/result   the result JSON (once done)
-//	GET  /api/v1/jobs/{id}/stream   NDJSON status stream until terminal
+//	GET  /api/v1/jobs/{id}/stream   NDJSON progress stream until terminal;
+//	                                ?from=N resumes after the first N lines
 //	GET  /api/v1/cache         substrate cache counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -384,6 +682,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if runningID != "" {
 		resp["running_job"] = runningID
 	}
+	if s.journal != nil {
+		resp["journal"] = s.journal.Path()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -400,20 +701,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// ID allocation, admission and registration are atomic under mu, so
-	// job IDs are dense, in admission order, and never burned on a
-	// rejected submission. The response is written after Unlock: an HTTP
-	// write can stall on a slow client, and stalling inside the critical
-	// section would freeze every status poll and submission with it.
+	// ID allocation, the journal's submitted record, admission and
+	// registration are atomic under mu, so job IDs are dense in
+	// admission order and the journal's submission order matches the
+	// queue's. The submitted record is written before TrySubmit — the
+	// scheduler may pick the job up the instant it lands in the queue,
+	// and its started record must find submitted already durable. A
+	// bounced admission is journaled as rejected (and the ID burned)
+	// so a crash in the window cannot resurrect a job the client was
+	// told to retry. The response is written after Unlock: an HTTP
+	// write can stall on a slow client, and stalling inside the
+	// critical section would freeze every status poll and submission
+	// with it.
 	s.mu.Lock()
 	id := fmt.Sprintf("job-%06d", s.nextID+1)
 	j := newJob(id, spec)
-	//costsense:lock-ok TrySubmit never parks (select with default under its own mutex), and admission must be atomic with ID allocation
-	err := s.queue.TrySubmit(func(ctx context.Context) { s.runJob(ctx, j) })
-	if err == nil {
+	var err error
+	//costsense:lock-ok bounded local-disk WAL append; the submitted record must be atomic with ID allocation and precede the scheduler's started record
+	journalErr := s.journalAppend(journalRecord{Op: opSubmitted, Job: id, Spec: &spec})
+	if journalErr != nil {
+		// The record's durability is unknown; burn the ID so a partial
+		// write can never collide with a later job.
 		s.nextID++
-		s.jobs[id] = j
-		s.order = append(s.order, id)
+		err = journalErr
+	} else {
+		//costsense:lock-ok TrySubmit never parks (select with default under its own mutex), and admission must be atomic with ID allocation
+		err = s.queue.TrySubmit(func(ctx context.Context) { s.runJob(ctx, j) })
+		if err == nil {
+			s.nextID++
+			s.jobs[id] = j
+			s.order = append(s.order, id)
+		} else if s.journal != nil {
+			//costsense:lock-ok bounded local-disk WAL append, same admission atomicity as the submitted record above
+			s.journalAppend(journalRecord{Op: opRejected, Job: id, Detail: err.Error()}) //costsense:err-ok journalAppend already counts and logs the failure; a dead disk degrades durability, never the scheduler
+			s.nextID++
+		}
 	}
 	s.mu.Unlock()
 
@@ -506,50 +828,67 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(j.result)
 }
 
-// handleStream emits the job's status as NDJSON — one line per
-// StreamInterval tick plus a final line at the terminal state — until
-// the job finishes, the client goes away, or the server shuts down.
+// handleStream serves the job's progress log as NDJSON: every line
+// already in the log, then new lines as they land, until the terminal
+// line (always the log's last — complete/fail append it before
+// closing finished). ?from=N skips the first N lines, which is how a
+// client resumes after a disconnect or a server restart without
+// replaying history it already has; if the job is terminal and the
+// (re-grown) log is shorter than N, one fresh terminal status line is
+// emitted so the client still observes closure.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "invalid from offset %q", v)
+			return
+		}
+		from = n
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	//costsense:nondet-ok stream cadence is wall-clock by design; emitted lines carry job status, never result bytes
-	ticker := time.NewTicker(s.cfg.StreamInterval)
-	defer ticker.Stop()
+	emitted := false
 	for {
-		if err := enc.Encode(j.status()); err != nil {
-			return
+		lines, notify, done := j.progressSince(from)
+		for _, ln := range lines {
+			if _, err := w.Write(ln); err != nil {
+				return
+			}
+			from++
+			emitted = true
 		}
-		if fl != nil {
+		if len(lines) > 0 && fl != nil {
 			fl.Flush()
 		}
-		select {
-		case <-j.finished:
-			//costsense:err-ok terminal line is best-effort; the stream closes right after either way
-			enc.Encode(j.status())
-			if fl != nil {
-				fl.Flush()
+		if done {
+			if !emitted {
+				// Resumed past the end of a terminal job's log (the log
+				// re-grew shorter after a restart): close with one fresh
+				// terminal line.
+				//costsense:err-ok terminal line is best-effort; the stream closes right after either way
+				w.Write(j.statusLine())
+				if fl != nil {
+					fl.Flush()
+				}
 			}
 			return
-		case <-ticker.C:
+		}
+		select {
+		case <-notify:
 		case <-r.Context().Done():
 			return
 		case <-s.runCtx.Done():
-			// Shutdown: failUnfinished will close j.finished; emit the
-			// terminal line and go.
+			// Shutdown: failUnfinished appends the terminal line and
+			// closes j.finished; loop once more to emit it.
 			<-j.finished
-			//costsense:err-ok terminal line is best-effort; the stream closes right after either way
-			enc.Encode(j.status())
-			if fl != nil {
-				fl.Flush()
-			}
-			return
 		}
 	}
 }

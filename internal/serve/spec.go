@@ -50,6 +50,13 @@ type Spec struct {
 	// Faults, when present, derives a reproducible fault plan for the
 	// substrate and installs the reliable-delivery layer.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// TimeoutMS bounds the job's wall-clock run time in milliseconds;
+	// 0 defers to the server's -job-timeout default (which may be
+	// none). A job that exceeds it fails with reason "deadline". The
+	// deadline is scheduling policy, not experiment identity: it is
+	// excluded from the substrate key, and omitempty keeps timeoutless
+	// specs' canonical JSON — and therefore result bytes — unchanged.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // GraphSpec names a deterministic graph generator and its parameters.
@@ -165,6 +172,9 @@ func (s *Spec) Normalize() error {
 	}
 	if s.EventLimit < 0 {
 		return fmt.Errorf("event_limit must be >= 0")
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("timeout_ms must be >= 0")
 	}
 	if s.Faults != nil {
 		if err := s.Faults.normalize(); err != nil {

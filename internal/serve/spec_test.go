@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -48,6 +49,7 @@ func TestNormalizeRejects(t *testing.T) {
 		{"weights", func(s *Spec) { s.Graph.Weights.Kind = "zipf" }, "unknown weight kind"},
 		{"drop", func(s *Spec) { s.Faults = &FaultSpec{Drop: 1.5} }, "probabilities"},
 		{"too big", func(s *Spec) { s.Graph.N = maxVertices + 1; s.Graph.M = maxVertices + 1 }, "too large"},
+		{"neg timeout", func(s *Spec) { s.TimeoutMS = -1 }, "timeout_ms"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -137,5 +139,37 @@ func TestGraphSpecBuildFamilies(t *testing.T) {
 				t.Fatalf("family %s built a bogus graph (n=%d)", gs.Family, g.N())
 			}
 		})
+	}
+}
+
+// The deadline is scheduling policy, not experiment identity: it must
+// not perturb the substrate key, and a spec without one must keep its
+// exact canonical JSON (timeout_ms is omitempty), so pre-deadline
+// result bytes are untouched.
+func TestTimeoutIsSchedulingPolicyOnly(t *testing.T) {
+	plain, timed := validSpec(), validSpec()
+	timed.TimeoutMS = 5000
+	if err := plain.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := timed.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.SubstrateKey() != timed.SubstrateKey() {
+		t.Fatal("timeout_ms changed the substrate key")
+	}
+	b, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "timeout_ms") {
+		t.Fatalf("timeoutless spec leaks timeout_ms into canonical JSON: %s", b)
+	}
+	b, err = json.Marshal(timed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"timeout_ms":5000`) {
+		t.Fatalf("timed spec lost its timeout: %s", b)
 	}
 }

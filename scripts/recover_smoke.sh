@@ -1,0 +1,190 @@
+#!/bin/sh
+# recover_smoke.sh — chaos smoke test of `costsense serve` durability.
+#
+# Builds the binary under the race detector and drives the crash-
+# recovery contracts end to end:
+#
+#   1. baseline: an uninterrupted run of SPEC records its result bytes;
+#   2. kill -9 mid-sweep: a jobrun client submits the same SPEC, the
+#      server is SIGKILLed once the sweep is making progress, then
+#      restarted on the same -journal — the journaled job re-runs, the
+#      client's resumed stream rides through the outage, and the final
+#      result is byte-identical to the baseline;
+#   3. the recovered job is marked recovered in its status and counted
+#      in costsense_jobs_recovered_total;
+#   4. a job with a tiny timeout_ms fails with reason=deadline, shows
+#      up in costsense_jobs_expired_total, and the scheduler moves on
+#      to complete a healthy job right behind it;
+#   5. a second SIGTERM mid-drain journals failed(reason=killed) and
+#      exits nonzero; the next start on the same journal reports the
+#      kill instead of re-running the job;
+#   6. a final SIGTERM drains clean and exits 0.
+#
+# Runs locally and in CI's recover-smoke job:
+#
+#   ./scripts/recover_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="${RECOVER_ADDR:-localhost:18322}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d -t recover_smoke.XXXXXX)"
+JOURNAL="$TMP/jobs.journal"
+SERVER_PID=""
+CLIENT_PID=""
+cleanup() {
+	[ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+	[ -n "$CLIENT_PID" ] && kill -9 "$CLIENT_PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+	echo "recover_smoke: FAIL: $*" >&2
+	[ -f "$TMP/server.log" ] && tail -n 30 "$TMP/server.log" | sed 's/^/  server: /' >&2
+	[ -f "$TMP/client.log" ] && tail -n 5 "$TMP/client.log" | sed 's/^/  client: /' >&2
+	exit 1
+}
+
+start_server() {
+	# $@ = extra flags; always journaled, long drain so only our
+	# signals end it.
+	"$TMP/costsense" serve -addr "$ADDR" -journal "$JOURNAL" -drain 60s "$@" >>"$TMP/server.log" 2>&1 &
+	SERVER_PID=$!
+	i=0
+	until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && fail "server did not become healthy"
+		kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+		sleep 0.2
+	done
+}
+
+stop_server() {
+	# Graceful stop; asserts exit 0.
+	kill -TERM "$SERVER_PID"
+	EXIT=0
+	wait "$SERVER_PID" || EXIT=$?
+	SERVER_PID=""
+	[ "$EXIT" -eq 0 ] || fail "server exited $EXIT on SIGTERM (want clean 0)"
+}
+
+job_field() {
+	# $1 = job id, $2 = json key; prints the string value.
+	curl -sf "$BASE/api/v1/jobs/$1" | sed -n "s/.*\"$2\": \"\([a-z]*\)\".*/\1/p"
+}
+
+wait_state() {
+	# $1 = job id, $2 = wanted state; polls to a terminal state.
+	j=0
+	while :; do
+		state="$(job_field "$1" state)"
+		[ "$state" = "$2" ] && return 0
+		case "$state" in done | failed) fail "job $1 ended $state, want $2 ($(curl -sf "$BASE/api/v1/jobs/$1"))" ;; esac
+		j=$((j + 1))
+		[ "$j" -gt 600 ] && fail "job $1 stuck in state '$state', want $2"
+		sleep 0.2
+	done
+}
+
+metric() {
+	curl -sf "$BASE/metrics" | sed -n "s/^$1 //p"
+}
+
+# The sweep both runs use: long enough under -race to be mid-flight
+# when the SIGKILL lands, short enough to finish twice in CI.
+SPEC='{"experiment": "flood",
+  "graph": {"family": "random", "n": 500, "m": 2000,
+            "weights": {"kind": "uniform", "max": 32, "seed": 7}, "seed": 7},
+  "trials": 400, "seed": 1}'
+# Never finishes inside this script; used to wedge the scheduler.
+LONG='{"experiment": "flood", "graph": {"family": "random", "n": 500, "m": 2000}, "trials": 100000}'
+
+echo "== build (race)"
+go build -race -o "$TMP/costsense" ./cmd/costsense
+
+echo "== baseline: uninterrupted run"
+start_server
+echo "$SPEC" >"$TMP/spec.json"
+"$TMP/costsense" jobrun -server "$BASE" -spec "$TMP/spec.json" -quiet >"$TMP/baseline.json" 2>"$TMP/client.log" ||
+	fail "baseline jobrun failed"
+[ -s "$TMP/baseline.json" ] || fail "baseline produced no result"
+stop_server
+rm -f "$JOURNAL" # fresh journal for the crash run
+
+echo "== crash run: kill -9 mid-sweep, restart, resume"
+start_server
+"$TMP/costsense" jobrun -server "$BASE" -spec "$TMP/spec.json" >"$TMP/recovered.json" 2>"$TMP/client.log" &
+CLIENT_PID=$!
+# Wait until the sweep is genuinely mid-flight (running, progress > 0).
+i=0
+while :; do
+	STATUS="$(curl -sf "$BASE/api/v1/jobs/job-000001" 2>/dev/null || true)"
+	echo "$STATUS" | grep -q '"state": "running"' &&
+		echo "$STATUS" | grep -q '"trials_done": [1-9]' && break
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && fail "job never reached mid-sweep (status: $STATUS)"
+	kill -0 "$CLIENT_PID" 2>/dev/null || fail "client exited before the crash ($(cat "$TMP/recovered.json"))"
+	sleep 0.1
+done
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+sleep 0.5 # let the client notice the outage and start retrying
+
+start_server # same journal: recovery re-enqueues job-000001
+EXIT=0
+wait "$CLIENT_PID" || EXIT=$?
+CLIENT_PID=""
+[ "$EXIT" -eq 0 ] || fail "client did not ride out the crash (exit $EXIT)"
+
+echo "== assert byte-identical recovery"
+cmp "$TMP/baseline.json" "$TMP/recovered.json" ||
+	fail "recovered result differs from the uninterrupted baseline"
+curl -sf "$BASE/api/v1/jobs/job-000001" | grep -q '"recovered": true' ||
+	fail "re-run job is not marked recovered"
+RECOVERED="$(metric costsense_jobs_recovered_total)"
+[ "${RECOVERED:-0}" -ge 1 ] || fail "costsense_jobs_recovered_total = ${RECOVERED:-0}, want >= 1"
+
+echo "== deadline: typed failure, scheduler moves on"
+DEADLINE_SPEC='{"experiment": "flood", "graph": {"family": "random", "n": 500, "m": 2000}, "trials": 100000, "timeout_ms": 200}'
+DID="$(curl -sf -X POST -d "$DEADLINE_SPEC" "$BASE/api/v1/jobs" | sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p')"
+[ -n "$DID" ] || fail "deadline job rejected"
+j=0
+until [ "$(job_field "$DID" state)" = "failed" ]; do
+	j=$((j + 1))
+	[ "$j" -gt 300 ] && fail "deadline job did not fail"
+	sleep 0.2
+done
+[ "$(job_field "$DID" reason)" = "deadline" ] ||
+	fail "deadline job failed with reason '$(job_field "$DID" reason)', want deadline"
+EXPIRED="$(metric costsense_jobs_expired_total)"
+[ "${EXPIRED:-0}" -ge 1 ] || fail "costsense_jobs_expired_total = ${EXPIRED:-0}, want >= 1"
+"$TMP/costsense" jobrun -server "$BASE" -spec "$TMP/spec.json" -quiet >"$TMP/after_deadline.json" 2>>"$TMP/client.log" ||
+	fail "scheduler wedged after the deadline failure"
+cmp "$TMP/baseline.json" "$TMP/after_deadline.json" ||
+	fail "post-deadline result differs from baseline"
+
+echo "== second SIGTERM mid-drain journals the kill"
+KID="$(curl -sf -X POST -d "$LONG" "$BASE/api/v1/jobs" | sed -n 's/.*"id": "\(job-[0-9]*\)".*/\1/p')"
+[ -n "$KID" ] || fail "long job rejected"
+wait_state "$KID" running
+kill -TERM "$SERVER_PID"
+sleep 0.5 # drain has begun; the sweep is still in flight
+kill -TERM "$SERVER_PID"
+EXIT=0
+wait "$SERVER_PID" || EXIT=$?
+SERVER_PID=""
+[ "$EXIT" -ne 0 ] || fail "second SIGTERM exited 0, want nonzero"
+
+start_server # same journal: the kill must be reported, not re-run
+[ "$(job_field "$KID" state)" = "failed" ] ||
+	fail "killed job reported as '$(job_field "$KID" state)' after restart, want failed"
+[ "$(job_field "$KID" reason)" = "killed" ] ||
+	fail "killed job reason '$(job_field "$KID" reason)', want killed"
+
+echo "== clean final shutdown"
+stop_server
+
+echo "recover_smoke: PASS"
